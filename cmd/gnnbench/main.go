@@ -1,0 +1,138 @@
+// Command gnnbench regenerates the paper's tables and figures from the
+// command line.
+//
+// Usage:
+//
+//	gnnbench -exp table2|fig3|fig4|fig5|fig6|fig7|ablation|all \
+//	         [-dataset reddit-sim|amazon-sim|protein-sim|papers-sim] \
+//	         [-scalediv N] [-seed S]
+//
+// -scalediv divides the preset dataset sizes by a power-of-two factor;
+// 1 runs the full preset sizes (slow), 4 is a good laptop default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sagnn/internal/experiments"
+	"sagnn/internal/gen"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2, table3, fig3, fig4, fig5, fig6, fig7, ablation, all")
+	dataset := flag.String("dataset", "", "restrict to one dataset preset (default: the paper's set per experiment)")
+	scaleDiv := flag.Int("scalediv", 4, "divide preset dataset sizes by this power-of-two factor (1 = full)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	t0 := time.Now()
+	switch *exp {
+	case "table3":
+		runTable3(*scaleDiv, *seed)
+	case "table2":
+		runTable2(*scaleDiv, *seed)
+	case "fig3":
+		runFig3(*dataset, *scaleDiv, *seed)
+	case "fig4":
+		runFig4(*dataset, *scaleDiv, *seed)
+	case "fig5":
+		runFig5(*scaleDiv, *seed)
+	case "fig6":
+		runFig6(*dataset, *scaleDiv, *seed)
+	case "fig7":
+		runFig7(*dataset, *scaleDiv, *seed)
+	case "ablation":
+		runAblation(*scaleDiv, *seed)
+	case "all":
+		runTable3(*scaleDiv, *seed)
+		runTable2(*scaleDiv, *seed)
+		runFig3(*dataset, *scaleDiv, *seed)
+		runFig4(*dataset, *scaleDiv, *seed)
+		runFig5(*scaleDiv, *seed)
+		runFig6(*dataset, *scaleDiv, *seed)
+		runFig7(*dataset, *scaleDiv, *seed)
+		runAblation(*scaleDiv, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func datasetsOr(flagVal string, defaults []gen.Preset) []gen.Preset {
+	if flagVal == "" {
+		return defaults
+	}
+	return []gen.Preset{gen.Preset(flagVal)}
+}
+
+func runTable3(scaleDiv int, seed int64) {
+	experiments.PrintTable3(os.Stdout, experiments.Table3(scaleDiv, seed))
+	fmt.Println()
+}
+
+func runTable2(scaleDiv int, seed int64) {
+	rows := experiments.Table2(scaleDiv, []int{16, 32, 64, 128, 256}, seed)
+	experiments.PrintTable2(os.Stdout, rows)
+	fmt.Println()
+}
+
+func fig3Procs(ds gen.Preset) []int {
+	if ds == gen.RedditSim {
+		return []int{4, 16, 32, 64}
+	}
+	return []int{4, 16, 32, 64, 128, 256}
+}
+
+func runFig3(dataset string, scaleDiv int, seed int64) {
+	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.RedditSim, gen.AmazonSim, gen.ProteinSim}) {
+		series := experiments.Figure3(ds, scaleDiv, fig3Procs(ds), seed)
+		experiments.PrintSeries(os.Stdout, fmt.Sprintf("Figure 3 — 1D scaling (%s)", ds), series)
+		fmt.Println()
+	}
+}
+
+func runFig4(dataset string, scaleDiv int, seed int64) {
+	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.RedditSim, gen.AmazonSim, gen.ProteinSim}) {
+		series := experiments.Figure3(ds, scaleDiv, []int{16, 64}, seed)
+		experiments.PrintBreakdown(os.Stdout, fmt.Sprintf("Figure 4 — 1D breakdown (%s)", ds),
+			experiments.FlattenSeries(series))
+		fmt.Println()
+	}
+}
+
+func runFig5(scaleDiv int, seed int64) {
+	res := experiments.Figure5(scaleDiv, 16, seed)
+	experiments.PrintBreakdown(os.Stdout, "Figure 5 — Papers, p=16", res)
+	fmt.Println()
+}
+
+func runFig6(dataset string, scaleDiv int, seed int64) {
+	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.AmazonSim, gen.ProteinSim}) {
+		series := experiments.Figure6(ds, scaleDiv, []int{4, 16, 32, 64}, seed)
+		experiments.PrintSeries(os.Stdout, fmt.Sprintf("Figure 6 — GVB vs METIS (%s)", ds), series)
+		fmt.Println()
+	}
+}
+
+func runFig7(dataset string, scaleDiv int, seed int64) {
+	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.AmazonSim, gen.ProteinSim}) {
+		series := experiments.Figure7(ds, scaleDiv, []int{16, 32, 64, 128, 256}, []int{2, 4}, seed)
+		experiments.PrintSeries(os.Stdout, fmt.Sprintf("Figure 7 — 1.5D (%s)", ds), series)
+		fmt.Println()
+	}
+}
+
+func runAblation(scaleDiv int, seed int64) {
+	fmt.Println("Ablation — GVB volume-refinement phase (amazon-sim, k=64)")
+	for _, r := range experiments.AblationGVBVolumePhase(gen.AmazonSim, scaleDiv, 64, seed) {
+		fmt.Printf("  %s\n", r.Quality)
+	}
+	fmt.Println()
+	res := experiments.AblationReplication(gen.ProteinSim, scaleDiv, 64, []int{1, 2, 4, 8}, seed)
+	experiments.PrintBreakdown(os.Stdout, "Ablation — replication sweep (protein-sim, p=64)", res)
+}

@@ -1,0 +1,48 @@
+// Command partstats compares partitioner quality — edgecut, total and
+// maximum send volume, communication imbalance, compute balance — on a
+// dataset preset across part counts.
+//
+// Usage:
+//
+//	partstats -dataset amazon-sim -k 16,64,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sagnn"
+)
+
+func main() {
+	dataset := flag.String("dataset", "amazon-sim", "dataset preset")
+	scaleDiv := flag.Int("scalediv", 8, "dataset scale divisor (1 = full size)")
+	ks := flag.String("k", "16,64", "comma-separated part counts")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	ds, err := sagnn.LoadDataset(sagnn.Preset(*dataset), *seed, *scaleDiv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	st := ds.G.Degrees()
+	fmt.Printf("dataset %s: %d vertices, %d edges, avg degree %.1f, degree CV %.2f\n\n",
+		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), st.Mean, st.CV)
+
+	for _, kstr := range strings.Split(*ks, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(kstr))
+		if err != nil || k < 2 {
+			fmt.Fprintf(os.Stderr, "bad part count %q\n", kstr)
+			os.Exit(2)
+		}
+		fmt.Printf("k = %d parts:\n", k)
+		for _, q := range sagnn.EvaluatePartitioners(ds, k, *seed) {
+			fmt.Printf("  %s\n", q)
+		}
+		fmt.Println()
+	}
+}

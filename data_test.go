@@ -1,0 +1,81 @@
+package sagnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDatasetFromEdges(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	features := [][]float64{{1, 0}, {0, 1}, {1, 1}, {0, 0}}
+	labels := []int{0, 1, 0, 1}
+	ds, err := DatasetFromEdges("ring", 4, edges, features, labels, 2, 0.5, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.G.NumVertices() != 4 || !ds.G.IsSymmetric() {
+		t.Fatal("graph wrong")
+	}
+	if ds.Features.At(2, 1) != 1 {
+		t.Fatal("features wrong")
+	}
+	if len(ds.Train) != 2 || len(ds.Val) != 1 || len(ds.Test) != 1 {
+		t.Fatalf("splits %d/%d/%d", len(ds.Train), len(ds.Val), len(ds.Test))
+	}
+}
+
+func TestDatasetFromEdgesErrors(t *testing.T) {
+	if _, err := DatasetFromEdges("x", 2, nil, [][]float64{{1}}, []int{0, 0}, 1, 0.5, 0, 1); err == nil {
+		t.Fatal("expected feature-count error")
+	}
+	if _, err := DatasetFromEdges("x", 2, nil, [][]float64{{1}, {2, 3}}, []int{0, 0}, 1, 0.5, 0, 1); err == nil {
+		t.Fatal("expected ragged-feature error")
+	}
+	if _, err := DatasetFromEdges("x", 2, nil, [][]float64{{1}, {2}}, []int{0, 5}, 2, 0.5, 0, 1); err == nil {
+		t.Fatal("expected label-range error")
+	}
+}
+
+func TestGenerateCommunityDataset(t *testing.T) {
+	ds := GenerateCommunityDataset("comms", 400, 4, 10, 2, 16, 0.4, 9)
+	if ds.G.NumVertices() != 400 || ds.Classes != 4 {
+		t.Fatal("shape wrong")
+	}
+	// trainable: serial accuracy on test split should beat chance (0.25)
+	if acc := TestAccuracy(ds, 40, 16, 2, 0.3, 3); acc < 0.5 {
+		t.Fatalf("community dataset not learnable: acc %v", acc)
+	}
+}
+
+func TestTrainReportsHeldOutAccuracy(t *testing.T) {
+	ds := GenerateCommunityDataset("comms", 256, 4, 10, 2, 16, 0.3, 11)
+	res := Train(TrainConfig{
+		Dataset:     ds,
+		Processes:   4,
+		Algorithm:   SparsityAware1D,
+		Partitioner: NewGVB(11),
+		Epochs:      40,
+		LR:          0.3,
+		Seed:        5,
+	})
+	if res.TestAcc < 0.5 || res.ValAcc < 0.5 {
+		t.Fatalf("held-out accuracy too low: val %v test %v", res.ValAcc, res.TestAcc)
+	}
+	if math.IsNaN(res.FinalTrainAcc) {
+		t.Fatal("NaN train accuracy")
+	}
+}
+
+func TestTrainMiniBatch(t *testing.T) {
+	ds := GenerateCommunityDataset("comms", 256, 4, 10, 2, 16, 0.3, 13)
+	res := TrainMiniBatch(ds, 20, 16, 2, 5, 32, 0.01, 3)
+	if len(res.EpochLoss) != 20 {
+		t.Fatalf("%d epochs", len(res.EpochLoss))
+	}
+	if res.EpochLoss[19] >= res.EpochLoss[0] {
+		t.Fatalf("minibatch loss did not decrease: %v -> %v", res.EpochLoss[0], res.EpochLoss[19])
+	}
+	if res.TestAcc < 0.5 {
+		t.Fatalf("minibatch test accuracy %v", res.TestAcc)
+	}
+}

@@ -1,0 +1,62 @@
+// Fraud detection: one of the motivating GNN applications in the paper's
+// introduction. We synthesise a transaction network where fraud rings form
+// dense communities (a stochastic block model), attach noisy behavioural
+// features, and train a distributed GCN to classify accounts by ring.
+//
+// The example also shows why communication optimization matters for this
+// workload: the same model is trained with sparsity-oblivious and
+// sparsity-aware communication, and the measured volumes are compared.
+package main
+
+import (
+	"fmt"
+
+	"sagnn"
+)
+
+func main() {
+	const (
+		accounts = 4096
+		rings    = 8 // 7 fraud rings + legitimate traffic, as communities
+	)
+	const (
+		intraRingDegree = 12
+		crossRingDegree = 3
+		featureDim      = 32
+		featureNoise    = 0.6
+		seed            = 2024
+	)
+	ds := sagnn.GenerateCommunityDataset("transactions", accounts, rings,
+		intraRingDegree, crossRingDegree, featureDim, featureNoise, seed)
+	fmt.Printf("transaction graph: %d accounts, %d edges, %d rings\n\n",
+		ds.G.NumVertices(), ds.G.NumEdges(), ds.Classes)
+
+	// Model quality: the serial reference achieves this test accuracy.
+	acc := sagnn.TestAccuracy(ds, 60, 16, 3, 0.2, 5)
+	fmt.Printf("test accuracy after 60 epochs (serial reference): %.3f\n\n", acc)
+
+	// Distributed training on 16 simulated GPUs, both communication modes.
+	for _, cfg := range []struct {
+		label string
+		algo  sagnn.Algorithm
+		part  sagnn.Partitioner
+	}{
+		{"sparsity-oblivious (CAGNET)", sagnn.Oblivious1D, nil},
+		{"sparsity-aware", sagnn.SparsityAware1D, nil},
+		{"sparsity-aware + GVB", sagnn.SparsityAware1D, sagnn.NewGVB(1)},
+	} {
+		res := sagnn.Train(sagnn.TrainConfig{
+			Dataset:     ds,
+			Processes:   16,
+			Algorithm:   cfg.algo,
+			Partitioner: cfg.part,
+			Epochs:      20,
+			LR:          0.2,
+			Seed:        5,
+		})
+		fmt.Printf("%-28s loss %.4f  epoch %.5fs  max send %.2f MB\n",
+			cfg.label, res.FinalLoss, res.EpochSeconds, res.MaxSentMB)
+	}
+	fmt.Println("\nAll three reach the same loss — the algorithms are numerically")
+	fmt.Println("equivalent; only the communication (and therefore epoch time) differs.")
+}

@@ -1,0 +1,40 @@
+// Partitioning study: why minimizing total edgecut is not enough.
+//
+// Compares the four partitioners on an irregular (Amazon-like) and a
+// regular (Protein-like) graph, reporting the metrics of the paper's
+// Section 5: edgecut, total send volume, maximum send volume, and the
+// communication load imbalance that motivates GVB. The same contrast drives
+// the paper's Table 2 and Figure 6.
+package main
+
+import (
+	"fmt"
+
+	"sagnn"
+)
+
+func main() {
+	for _, preset := range []sagnn.Preset{sagnn.AmazonSim, sagnn.ProteinSim} {
+		ds := sagnn.MustLoadDataset(preset, 42, 8)
+		st := ds.G.Degrees()
+		fmt.Printf("%s: %d vertices, %d edges, avg degree %.1f, degree CV %.2f\n",
+			ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), st.Mean, st.CV)
+
+		for _, k := range []int{16, 64} {
+			fmt.Printf("  k = %d:\n", k)
+			for _, q := range sagnn.EvaluatePartitioners(ds, k, 42) {
+				fmt.Printf("    %s\n", q)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the table:")
+	fmt.Println("  - random: balanced everything, but the cut (≈ communication) is maximal.")
+	fmt.Println("  - metis:  minimizes the cut but ignores per-part send volume — note the")
+	fmt.Println("            imbalance column on the irregular graph (the paper's Table 2).")
+	fmt.Println("  - gvb:    also minimizes the MAX send volume; the bottleneck process,")
+	fmt.Println("            which sets epoch time, ships far less data.")
+	fmt.Println("  - on the regular protein-like graph both multilevel partitioners drive")
+	fmt.Println("    the cut toward zero — the paper's communication-free training case.")
+}

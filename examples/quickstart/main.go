@@ -1,0 +1,56 @@
+// Quickstart: train a 3-layer GCN on the Protein stand-in dataset, first
+// serially, then distributed over 16 simulated GPUs with sparsity-aware
+// communication and GVB partitioning — the paper's headline configuration —
+// and confirm the two produce the same learning curve while the distributed
+// run slashes communication.
+package main
+
+import (
+	"fmt"
+
+	"sagnn"
+)
+
+func main() {
+	// Load a scaled-down Protein-like dataset (use scaleDiv=1 for full size).
+	ds := sagnn.MustLoadDataset(sagnn.ProteinSim, 42, 16)
+	fmt.Printf("dataset %s: %d vertices, %d edges, f=%d, %d classes\n\n",
+		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim(), ds.Classes)
+
+	// Serial reference run.
+	serial := sagnn.TrainSerial(ds, 10, 16, 3, 0.05, 7)
+	fmt.Println("serial reference:")
+	for _, e := range serial {
+		if e.Epoch%3 == 0 {
+			fmt.Printf("  epoch %2d  loss %.4f\n", e.Epoch, e.Loss)
+		}
+	}
+
+	// The same training distributed over 16 simulated GPUs: sparsity-aware
+	// 1D communication plus the volume-balancing partitioner.
+	res := sagnn.Train(sagnn.TrainConfig{
+		Dataset:     ds,
+		Processes:   16,
+		Algorithm:   sagnn.SparsityAware1D,
+		Partitioner: sagnn.NewGVB(42),
+		Epochs:      10,
+		LR:          0.05,
+		Seed:        7,
+	})
+	fmt.Println("\ndistributed (16 GPUs, SA+GVB):")
+	for _, e := range res.History {
+		if e.Epoch%3 == 0 {
+			fmt.Printf("  epoch %2d  loss %.4f\n", e.Epoch, e.Loss)
+		}
+	}
+
+	fmt.Printf("\nmodeled epoch time on the paper's machine: %.5fs\n", res.EpochSeconds)
+	for ph, t := range res.Breakdown {
+		fmt.Printf("  %-10s %.5fs\n", ph, t)
+	}
+	fmt.Printf("send volume per process per epoch: avg %.2f MB, max %.2f MB\n",
+		res.AvgSentMB, res.MaxSentMB)
+	if q := res.PartitionQuality; q != nil {
+		fmt.Printf("partition quality: %s\n", q)
+	}
+}

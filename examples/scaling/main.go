@@ -1,0 +1,54 @@
+// Scaling study: a miniature of the paper's Figure 3, runnable in seconds.
+// Sweeps GPU counts on the Amazon-like dataset and prints modeled epoch
+// time for the sparsity-oblivious baseline, plain sparsity-aware, and
+// sparsity-aware with GVB partitioning — showing where the crossover
+// appears and how the partitioner extends scaling.
+package main
+
+import (
+	"fmt"
+
+	"sagnn"
+)
+
+func main() {
+	ds := sagnn.MustLoadDataset(sagnn.AmazonSim, 42, 8)
+	fmt.Printf("dataset %s: %d vertices, %d edges, f=%d\n\n",
+		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim())
+
+	configs := []struct {
+		label string
+		algo  sagnn.Algorithm
+		part  func() sagnn.Partitioner
+	}{
+		{"CAGNET", sagnn.Oblivious1D, func() sagnn.Partitioner { return nil }},
+		{"SA", sagnn.SparsityAware1D, func() sagnn.Partitioner { return nil }},
+		{"SA+GVB", sagnn.SparsityAware1D, func() sagnn.Partitioner { return sagnn.NewGVB(42) }},
+	}
+
+	fmt.Printf("%-8s", "p")
+	for _, c := range configs {
+		fmt.Printf("%14s", c.label)
+	}
+	fmt.Println("  (modeled epoch seconds)")
+
+	for _, p := range []int{4, 8, 16, 32, 64} {
+		fmt.Printf("%-8d", p)
+		for _, c := range configs {
+			res := sagnn.Train(sagnn.TrainConfig{
+				Dataset:     ds,
+				Processes:   p,
+				Algorithm:   c.algo,
+				Partitioner: c.part(),
+				Epochs:      2,
+				Seed:        3,
+			})
+			fmt.Printf("%14.5f", res.EpochSeconds)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nExpected shape (cf. paper Figure 3): the oblivious baseline stops")
+	fmt.Println("scaling as p grows, sparsity-aware exchanges only needed rows, and")
+	fmt.Println("the GVB partitioner removes the communication bottleneck entirely.")
+}

@@ -1,0 +1,38 @@
+package comm
+
+import "sync"
+
+// barrier is a reusable cyclic barrier for a fixed party count.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	round uint64
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all p parties have called wait for the current round.
+func (b *barrier) wait() {
+	if b.p == 1 {
+		return
+	}
+	b.mu.Lock()
+	round := b.round
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.round++
+		b.cond.Broadcast()
+	} else {
+		for round == b.round {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,186 @@
+package comm
+
+import (
+	"fmt"
+
+	"sagnn/internal/machine"
+)
+
+// Group is a communicator over a subset of world ranks (a process row or
+// column in the 1.5D grid, or the whole world). All collectives must be
+// entered by every member, in the same order — MPI semantics.
+type Group struct {
+	w       *World
+	members []int
+	idx     map[int]int // world rank -> group index
+	bar     *barrier
+	slots   []any
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Members returns the world ranks in group order.
+func (g *Group) Members() []int { return append([]int(nil), g.members...) }
+
+// IndexOf returns r's position within the group; panics if not a member.
+func (g *Group) IndexOf(r *Rank) int {
+	i, ok := g.idx[r.ID]
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d not in group %v", r.ID, g.members))
+	}
+	return i
+}
+
+// Barrier synchronises all members.
+func (g *Group) Barrier(r *Rank) {
+	g.IndexOf(r)
+	g.bar.wait()
+}
+
+// publish places data in the caller's slot and waits for all members.
+func (g *Group) publish(r *Rank, data any) {
+	g.slots[g.IndexOf(r)] = data
+	g.bar.wait()
+}
+
+// retire waits for all members to finish reading, then clears the caller's
+// slot so the next collective starts clean.
+func (g *Group) retire(r *Rank) {
+	g.bar.wait()
+	g.slots[g.IndexOf(r)] = nil
+}
+
+// BcastFloats broadcasts root's (group-index) payload to every member and
+// returns each member's own copy. Charged as a pipelined-tree broadcast.
+func (g *Group) BcastFloats(r *Rank, root int, data []float64, phase string) []float64 {
+	me := g.IndexOf(r)
+	var payload any
+	if me == root {
+		payload = data
+	}
+	g.publish(r, payload)
+	src := g.slots[root].([]float64)
+	out := append([]float64(nil), src...)
+	nBytes := int64(len(src)) * machine.BytesPerElem
+	if me == root {
+		g.w.stats.addSend(r.ID, nBytes, 1)
+	} else {
+		g.w.stats.addRecv(r.ID, nBytes)
+	}
+	r.chargeTime(phase, g.w.Params.BcastTime(nBytes, g.Size()))
+	g.retire(r)
+	return out
+}
+
+// AllReduceSum element-wise sums each member's vector and returns the
+// reduced vector to all. Vectors must share a length. Charged as a ring
+// all-reduce.
+func (g *Group) AllReduceSum(r *Rank, data []float64, phase string) []float64 {
+	g.publish(r, data)
+	out := make([]float64, len(data))
+	for i := range g.members {
+		v := g.slots[i].([]float64)
+		if len(v) != len(data) {
+			panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(v), len(data)))
+		}
+		for j, x := range v {
+			out[j] += x
+		}
+	}
+	nBytes := int64(len(data)) * machine.BytesPerElem
+	ringVol := nBytes // ring all-reduce moves ~2n bytes; modeled in AllReduceTime
+	if g.Size() > 1 {
+		g.w.stats.addSend(r.ID, ringVol, int64(g.Size()-1))
+		g.w.stats.addRecv(r.ID, ringVol)
+	}
+	r.chargeTime(phase, g.w.Params.AllReduceTime(nBytes, g.Size()))
+	g.retire(r)
+	return out
+}
+
+// AllGatherFloats concatenates each member's variable-length contribution
+// in group order and returns the slices per contributor. Charged as a ring
+// all-gather of the concatenated size.
+func (g *Group) AllGatherFloats(r *Rank, data []float64, phase string) [][]float64 {
+	g.publish(r, data)
+	out := make([][]float64, g.Size())
+	var total int64
+	for i := range g.members {
+		v := g.slots[i].([]float64)
+		out[i] = append([]float64(nil), v...)
+		total += int64(len(v))
+	}
+	totalBytes := total * machine.BytesPerElem
+	ownBytes := int64(len(data)) * machine.BytesPerElem
+	if g.Size() > 1 {
+		g.w.stats.addSend(r.ID, ownBytes, int64(g.Size()-1))
+		g.w.stats.addRecv(r.ID, totalBytes-ownBytes)
+	}
+	r.chargeTime(phase, g.w.Params.AllGatherTime(totalBytes, g.Size()))
+	g.retire(r)
+	return out
+}
+
+// AllToAllv performs a personalized exchange: send[j] goes to group member
+// j; the result's element j is what member j sent to the caller. Charged as
+// grouped point-to-point traffic — one latency per communicating partner
+// plus serialized send+recv bandwidth, the model the paper uses for NCCL's
+// grouped ncclSend/ncclRecv all-to-all.
+func (g *Group) AllToAllv(r *Rank, send [][]float64, phase string) [][]float64 {
+	if len(send) != g.Size() {
+		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))
+	}
+	me := g.IndexOf(r)
+	g.publish(r, send)
+	out := make([][]float64, g.Size())
+	var sendElems, recvElems int64
+	partners := 0
+	for j := range g.members {
+		theirs := g.slots[j].([][]float64)
+		out[j] = append([]float64(nil), theirs[me]...)
+		if j != me {
+			recvElems += int64(len(theirs[me]))
+			sendElems += int64(len(send[j]))
+			if len(theirs[me]) > 0 || len(send[j]) > 0 {
+				partners++
+			}
+		}
+	}
+	sendBytes := sendElems * machine.BytesPerElem
+	recvBytes := recvElems * machine.BytesPerElem
+	g.w.stats.addSend(r.ID, sendBytes, int64(partners))
+	g.w.stats.addRecv(r.ID, recvBytes)
+	r.chargeTime(phase, g.w.Params.AllToAllvTime(sendBytes, recvBytes, partners))
+	g.retire(r)
+	return out
+}
+
+// AllToAllvInts is AllToAllv for int payloads (the NnzCols index exchange
+// during sparsity-aware setup).
+func (g *Group) AllToAllvInts(r *Rank, send [][]int, phase string) [][]int {
+	if len(send) != g.Size() {
+		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))
+	}
+	me := g.IndexOf(r)
+	g.publish(r, send)
+	out := make([][]int, g.Size())
+	var sendElems, recvElems int64
+	partners := 0
+	for j := range g.members {
+		theirs := g.slots[j].([][]int)
+		out[j] = append([]int(nil), theirs[me]...)
+		if j != me {
+			recvElems += int64(len(theirs[me]))
+			sendElems += int64(len(send[j]))
+			if len(theirs[me]) > 0 || len(send[j]) > 0 {
+				partners++
+			}
+		}
+	}
+	g.w.stats.addSend(r.ID, sendElems*machine.BytesPerElem, int64(partners))
+	g.w.stats.addRecv(r.ID, recvElems*machine.BytesPerElem)
+	r.chargeTime(phase, g.w.Params.AllToAllvTime(sendElems*machine.BytesPerElem, recvElems*machine.BytesPerElem, partners))
+	g.retire(r)
+	return out
+}

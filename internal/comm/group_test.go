@@ -1,0 +1,148 @@
+package comm
+
+import (
+	"testing"
+
+	"sagnn/internal/machine"
+)
+
+// TestConcurrentColumnGroups exercises the 1.5D communication pattern:
+// several column groups run independent collectives simultaneously while
+// row groups all-reduce, verifying group isolation under load.
+func TestConcurrentColumnGroups(t *testing.T) {
+	const p, c = 16, 4
+	w := testWorld(p)
+	rows := make([]*Group, p/c)
+	cols := make([]*Group, c)
+	for i := 0; i < p/c; i++ {
+		members := make([]int, c)
+		for j := 0; j < c; j++ {
+			members[j] = i*c + j
+		}
+		rows[i] = w.NewGroup(members)
+	}
+	for j := 0; j < c; j++ {
+		members := make([]int, p/c)
+		for i := 0; i < p/c; i++ {
+			members[i] = i*c + j
+		}
+		cols[j] = w.NewGroup(members)
+	}
+	w.Run(func(r *Rank) {
+		i, j := r.ID/c, r.ID%c
+		for round := 0; round < 20; round++ {
+			// column bcast from rotating root
+			root := round % (p / c)
+			var data []float64
+			if i == root {
+				data = []float64{float64(root*100 + j)}
+			}
+			got := cols[j].BcastFloats(r, root, data, "bcast")
+			if got[0] != float64(root*100+j) {
+				panic("column bcast crossed groups")
+			}
+			// row allreduce
+			sum := rows[i].AllReduceSum(r, []float64{1}, "allreduce")
+			if sum[0] != float64(c) {
+				panic("row allreduce wrong")
+			}
+		}
+	})
+}
+
+// TestInterleavedP2PAndCollectives mirrors the SA 1.5D Multiply structure:
+// point-to-point stage traffic interleaved with group collectives.
+func TestInterleavedP2PAndCollectives(t *testing.T) {
+	const p = 8
+	w := testWorld(p)
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		for stage := 0; stage < 10; stage++ {
+			// ring send
+			next := (r.ID + 1) % p
+			prev := (r.ID + p - 1) % p
+			r.Send(next, stage, []float64{float64(r.ID)}, "alltoall")
+			got := r.Recv(prev, stage, "alltoall")
+			if got[0] != float64(prev) {
+				panic("ring payload wrong")
+			}
+			// then a collective
+			sum := g.AllReduceSum(r, []float64{1}, "allreduce")
+			if sum[0] != p {
+				panic("allreduce wrong")
+			}
+		}
+	})
+	if w.Stats().TotalSent() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+// TestAllToAllvEmptyBuckets verifies zero-length exchanges are legal and
+// free of byte accounting.
+func TestAllToAllvEmptyBuckets(t *testing.T) {
+	w := testWorld(3)
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		send := make([][]float64, 3)
+		recv := g.AllToAllv(r, send, "alltoall")
+		for _, buf := range recv {
+			if len(buf) != 0 {
+				panic("expected empty")
+			}
+		}
+	})
+	if w.Stats().TotalSent() != 0 {
+		t.Fatal("empty alltoallv should move no bytes")
+	}
+}
+
+// TestLedgerPhasesFromCollectives checks that phases land in the ledger
+// under the names the experiment breakdowns rely on.
+func TestLedgerPhasesFromCollectives(t *testing.T) {
+	w := testWorld(4)
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		var data []float64
+		if r.ID == 0 {
+			data = make([]float64, 100)
+		}
+		g.BcastFloats(r, 0, data, "bcast")
+		g.AllReduceSum(r, make([]float64, 10), "allreduce")
+		send := make([][]float64, 4)
+		for j := range send {
+			if j != r.ID {
+				send[j] = []float64{1}
+			}
+		}
+		g.AllToAllv(r, send, "alltoall")
+	})
+	for _, phase := range []string{"bcast", "allreduce", "alltoall"} {
+		if w.Ledger.PhaseMax(phase) <= 0 {
+			t.Fatalf("phase %q missing from ledger: %v", phase, w.Ledger.Phases())
+		}
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty world")
+		}
+	}()
+	NewWorld(0, machine.Perlmutter())
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	w := testWorld(2)
+	for _, members := range [][]int{{0, 2}, {0, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for members %v", members)
+				}
+			}()
+			w.NewGroup(members)
+		}()
+	}
+}

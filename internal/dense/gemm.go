@@ -1,0 +1,155 @@
+package dense
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockSize is the cache-blocking tile edge for GEMM. 64 float64 rows of a
+// tile fit comfortably in L1 on commodity hardware.
+const blockSize = 64
+
+// MatMul returns a×b using a cache-blocked, goroutine-parallel kernel.
+func MatMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes c = a×b, overwriting c. c must be a.Rows × b.Cols and
+// must not alias a or b.
+func MatMulInto(c, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MatMul inner dim %d vs %d", a.Cols, b.Rows))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMul output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	c.Zero()
+	MatMulAddInto(c, a, b)
+}
+
+// MatMulAddInto computes c += a×b. The row loop is parallelised across
+// GOMAXPROCS workers; each worker owns a disjoint stripe of c so no locking
+// is needed.
+func MatMulAddInto(c, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MatMul inner dim %d vs %d", a.Cols, b.Rows))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMul output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if a.Rows < 2*blockSize || workers == 1 {
+		gemmStripe(c, a, b, 0, a.Rows)
+		return
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmStripe(c, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmStripe accumulates rows [lo,hi) of c += a×b using i-k-j loop order so
+// the innermost loop streams through contiguous rows of b and c.
+func gemmStripe(c, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for kk := 0; kk < a.Cols; kk += blockSize {
+		kmax := kk + blockSize
+		if kmax > a.Cols {
+			kmax = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k := kk; k < kmax; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					crow[j] += aik * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ×b without materialising aᵀ. Used for the weight
+// gradient Y^{l-1} = (H^{l-1})ᵀ (A G^l), an f×f outer-product-shaped GEMM.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: MatMulTransA rows %d vs %d", a.Rows, b.Rows))
+	}
+	c := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB returns a×bᵀ without materialising bᵀ. Used for the input
+// gradient term G^l (W^l)ᵀ.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMulTransB cols %d vs %d", a.Cols, b.Cols))
+	}
+	c := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// naiveMatMul is the reference triple loop used by tests.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}

@@ -1,0 +1,316 @@
+// Package dense provides row-major dense matrices and the kernels needed by
+// GCN training: GEMM, transpose, elementwise maps, Hadamard products, and
+// row gather/scatter used by the sparsity-aware communication plans.
+//
+// All matrices are float64 and stored row-major in a single contiguous
+// slice, so a row is a contiguous subslice and can be sent over the
+// simulated network without copying column strides.
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a row-major dense matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zero-initialised Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("dense: FromSlice len %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// NewRandom returns a rows×cols matrix with entries drawn uniformly from
+// [-scale, scale) using rng. Deterministic for a given rng state.
+func NewRandom(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * scale
+	}
+	return m
+}
+
+// NewGlorot returns a rows×cols matrix with Glorot/Xavier uniform
+// initialisation, the scheme used by Kipf & Welling's GCN reference code.
+func NewGlorot(rng *rand.Rand, rows, cols int) *Matrix {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	return NewRandom(rng, rows, cols, limit)
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Equal reports whether m and o have identical shape and elements within tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the max |m - o| over all elements; panics on shape
+// mismatch.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	m.mustSameShape(o)
+	maxd := 0.0
+	for i, v := range m.Data {
+		if d := math.Abs(v - o.Data[i]); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+func (m *Matrix) mustSameShape(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("dense: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add computes m += o element-wise.
+func (m *Matrix) Add(o *Matrix) {
+	m.mustSameShape(o)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub computes m -= o element-wise.
+func (m *Matrix) Sub(o *Matrix) {
+	m.mustSameShape(o)
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AXPY computes m += a*o.
+func (m *Matrix) AXPY(a float64, o *Matrix) {
+	m.mustSameShape(o)
+	for i, v := range o.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// Hadamard computes m *= o element-wise (the ⊙ in the paper's backward
+// pass G^{l-1} ← A G^l (W^l)ᵀ ⊙ σ′(Z^{l-1})).
+func (m *Matrix) Hadamard(o *Matrix) {
+	m.mustSameShape(o)
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Apply maps f over every element in place.
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// ReLU applies max(0, x) in place.
+func (m *Matrix) ReLU() {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// ReLUDeriv returns σ′(m) for σ=ReLU: 1 where m>0 else 0.
+func (m *Matrix) ReLUDeriv() *Matrix {
+	d := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		if v > 0 {
+			d.Data[i] = 1
+		}
+	}
+	return d
+}
+
+// Transpose returns a new matrix mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*m.Rows+i] = v
+		}
+	}
+	return t
+}
+
+// FrobeniusNorm returns sqrt(Σ m_ij²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// GatherRows returns a new matrix whose k-th row is m.Row(idx[k]). This is
+// the pack step of sparsity-aware communication: collect exactly the rows of
+// H requested by a remote process.
+func (m *Matrix) GatherRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for k, i := range idx {
+		copy(out.Row(k), m.Row(i))
+	}
+	return out
+}
+
+// ScatterRows copies src.Row(k) into m.Row(idx[k]) for every k; the unpack
+// step on the receiving side of a sparsity-aware exchange.
+func (m *Matrix) ScatterRows(idx []int, src *Matrix) {
+	if len(idx) != src.Rows {
+		panic(fmt.Sprintf("dense: ScatterRows %d indices for %d rows", len(idx), src.Rows))
+	}
+	if src.Cols != m.Cols {
+		panic(fmt.Sprintf("dense: ScatterRows col mismatch %d vs %d", src.Cols, m.Cols))
+	}
+	for k, i := range idx {
+		copy(m.Row(i), src.Row(k))
+	}
+}
+
+// SliceRows returns rows [lo, hi) as a matrix aliasing m's storage.
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("dense: SliceRows [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// VStack concatenates the given matrices vertically into a new matrix.
+// All inputs must have the same column count.
+func VStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("dense: VStack col mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:off+len(m.Data)], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// HStack concatenates a and b horizontally: [a | b]. Row counts must match.
+func HStack(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: HStack rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := out.Row(i)
+		copy(row[:a.Cols], a.Row(i))
+		copy(row[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// SplitCols cuts m into its first `at` columns and the rest, as copies.
+func (m *Matrix) SplitCols(at int) (left, right *Matrix) {
+	if at < 0 || at > m.Cols {
+		panic(fmt.Sprintf("dense: SplitCols at %d of %d cols", at, m.Cols))
+	}
+	left = New(m.Rows, at)
+	right = New(m.Rows, m.Cols-at)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		copy(left.Row(i), row[:at])
+		copy(right.Row(i), row[at:])
+	}
+	return left, right
+}
+
+// PermuteRows returns a new matrix whose row perm[i] is m's row i
+// (i.e. new[perm[i]] = old[i]), matching the "relabel vertex i as perm[i]"
+// convention used by the partitioners.
+func (m *Matrix) PermuteRows(perm []int) *Matrix {
+	if len(perm) != m.Rows {
+		panic(fmt.Sprintf("dense: PermuteRows perm len %d != rows %d", len(perm), m.Rows))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(perm[i]), m.Row(i))
+	}
+	return out
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 400 {
+		return fmt.Sprintf("dense.Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		s += fmt.Sprintf("%8.4f\n", m.Row(i))
+	}
+	return s
+}

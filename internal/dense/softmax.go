@@ -1,0 +1,78 @@
+package dense
+
+import "math"
+
+// SoftmaxRows applies a numerically-stable softmax to each row of m in
+// place, turning the final GCN layer's logits into class probabilities.
+func SoftmaxRows(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			row[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// CrossEntropyLoss computes the mean negative log-likelihood of labels under
+// the row-wise probability matrix probs, restricted to the rows listed in
+// mask (the training vertices). It also returns the gradient of the loss
+// with respect to the pre-softmax logits: (probs - onehot(labels)) / |mask|
+// on masked rows and zero elsewhere — the standard softmax/cross-entropy
+// fusion.
+func CrossEntropyLoss(probs *Matrix, labels []int, mask []int) (loss float64, grad *Matrix) {
+	grad = New(probs.Rows, probs.Cols)
+	if len(mask) == 0 {
+		return 0, grad
+	}
+	inv := 1.0 / float64(len(mask))
+	for _, i := range mask {
+		row := probs.Row(i)
+		g := grad.Row(i)
+		y := labels[i]
+		p := row[y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		for j, v := range row {
+			g[j] = v * inv
+		}
+		g[y] -= inv
+	}
+	return loss * inv, grad
+}
+
+// Accuracy returns the fraction of rows in mask whose argmax equals the
+// label.
+func Accuracy(probs *Matrix, labels []int, mask []int) float64 {
+	if len(mask) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, i := range mask {
+		row := probs.Row(i)
+		best, bestv := 0, row[0]
+		for j, v := range row {
+			if v > bestv {
+				best, bestv = j, v
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(mask))
+}

@@ -1,0 +1,236 @@
+package distmm
+
+import (
+	"fmt"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/machine"
+	"sagnn/internal/sparse"
+)
+
+// Engine is one rank-parallel distributed SpMM algorithm over a fixed
+// sparse matrix. Multiply is called collectively: every rank passes its own
+// H block and receives its own Z block. Engines are safe for concurrent use
+// by their world's ranks.
+type Engine interface {
+	Name() string
+	// Layout returns the block-row distribution of the dense matrices.
+	Layout() Layout
+	// BlockOf returns the block-row index owned by a world rank.
+	BlockOf(rank int) int
+	// Multiply computes this rank's block of Aᵀ·H. hLocal must have
+	// Layout().Count(BlockOf(rank)) rows.
+	Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix
+	// GradGroup returns the group over which block-row-partial reductions
+	// (weight gradients, loss terms) must be summed to obtain the global
+	// value exactly once: the world for 1D layouts, the process column for
+	// 1.5D grids (each column holds every block row exactly once).
+	GradGroup(rank int) *comm.Group
+}
+
+// Oblivious1D is CAGNET's sparsity-oblivious algorithm: in every Multiply,
+// each process broadcasts its full H block to all others regardless of the
+// sparsity structure.
+type Oblivious1D struct {
+	layout Layout
+	blocks [][]*sparse.CSR // [rank][j] = A^T_{rank,j}
+	world  *comm.World
+}
+
+// NewOblivious1D partitions aT (the global n×n sparse matrix, already
+// permuted if a partitioner was used) into P×P blocks for the given layout.
+func NewOblivious1D(w *comm.World, aT *sparse.CSR, layout Layout) *Oblivious1D {
+	if layout.Blocks() != w.P {
+		panic(fmt.Sprintf("distmm: layout has %d blocks for %d ranks", layout.Blocks(), w.P))
+	}
+	if layout.N() != aT.NumRows || aT.NumRows != aT.NumCols {
+		panic(fmt.Sprintf("distmm: matrix %dx%d does not match layout n=%d", aT.NumRows, aT.NumCols, layout.N()))
+	}
+	e := &Oblivious1D{layout: layout, world: w, blocks: make([][]*sparse.CSR, w.P)}
+	for i := 0; i < w.P; i++ {
+		rlo, rhi := layout.Range(i)
+		e.blocks[i] = make([]*sparse.CSR, w.P)
+		rowBlock := aT.RowBlock(rlo, rhi)
+		for j := 0; j < w.P; j++ {
+			clo, chi := layout.Range(j)
+			e.blocks[i][j] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+		}
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *Oblivious1D) Name() string { return "oblivious-1d" }
+
+// Layout implements Engine.
+func (e *Oblivious1D) Layout() Layout { return e.layout }
+
+// BlockOf implements Engine.
+func (e *Oblivious1D) BlockOf(rank int) int { return rank }
+
+// GradGroup implements Engine.
+func (e *Oblivious1D) GradGroup(rank int) *comm.Group { return e.world.WorldGroup() }
+
+// Multiply implements Engine: P broadcasts, one per block row of H, each
+// followed by a local SpMM with the matching column block.
+func (e *Oblivious1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	me := r.ID
+	f := hLocal.Cols
+	if hLocal.Rows != e.layout.Count(me) {
+		panic(fmt.Sprintf("distmm: rank %d got %d H rows, owns %d", me, hLocal.Rows, e.layout.Count(me)))
+	}
+	g := e.world.WorldGroup()
+	z := dense.New(e.layout.Count(me), f)
+	for j := 0; j < e.world.P; j++ {
+		var payload []float64
+		if j == me {
+			payload = hLocal.Data
+		}
+		data := g.BcastFloats(r, j, payload, "bcast")
+		hj := dense.FromSlice(e.layout.Count(j), f, data)
+		blk := e.blocks[me][j]
+		blk.SpMMAddInto(z, hj)
+		r.ChargeCompute("local", e.world.Params.SpMMTime(blk.Flops(f)))
+	}
+	return z
+}
+
+// SparsityAware1D is the paper's Algorithm 1. During setup each block
+// computes NnzCols(i, j) — the rows of H_j its off-diagonal block A^T_{ij}
+// actually touches — and Multiply exchanges exactly those rows with a
+// single all-to-allv.
+type SparsityAware1D struct {
+	layout Layout
+	world  *comm.World
+	// recvIdx[i][j] lists (j-local) row indices of H_j that block i needs.
+	recvIdx [][][]int
+	// sendIdx[i][j] lists (i-local) rows of H_i that block j needs; equal to
+	// recvIdx[j][i], precomputed for the pack step.
+	sendIdx [][][]int
+	// compact[i][j] is A^T_{ij} with columns relabeled to positions in
+	// recvIdx[i][j], so received rows can be multiplied without scattering.
+	compact [][]*sparse.CSR
+	// diag[i] is the diagonal block A^T_{ii}, multiplied against the local
+	// H block directly.
+	diag []*sparse.CSR
+}
+
+// NewSparsityAware1D computes the NnzCols structure for every block pair.
+// The paper performs this as a cheap preprocessing step excluded from
+// training time; here it is computed directly from the global matrix.
+func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) *SparsityAware1D {
+	if layout.Blocks() != w.P {
+		panic(fmt.Sprintf("distmm: layout has %d blocks for %d ranks", layout.Blocks(), w.P))
+	}
+	if layout.N() != aT.NumRows || aT.NumRows != aT.NumCols {
+		panic(fmt.Sprintf("distmm: matrix %dx%d does not match layout n=%d", aT.NumRows, aT.NumCols, layout.N()))
+	}
+	p := w.P
+	e := &SparsityAware1D{
+		layout:  layout,
+		world:   w,
+		recvIdx: make([][][]int, p),
+		sendIdx: make([][][]int, p),
+		compact: make([][]*sparse.CSR, p),
+		diag:    make([]*sparse.CSR, p),
+	}
+	for i := 0; i < p; i++ {
+		rlo, rhi := layout.Range(i)
+		rowBlock := aT.RowBlock(rlo, rhi)
+		e.recvIdx[i] = make([][]int, p)
+		e.compact[i] = make([]*sparse.CSR, p)
+		for j := 0; j < p; j++ {
+			clo, chi := layout.Range(j)
+			blk := rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+			if j == i {
+				e.diag[i] = blk
+				continue
+			}
+			nnzCols := blk.NnzColsInRange(sparse.ColRange{Lo: 0, Hi: chi - clo})
+			e.recvIdx[i][j] = nnzCols
+			remap := make([]int, chi-clo)
+			for k := range remap {
+				remap[k] = -1
+			}
+			for pos, c := range nnzCols {
+				remap[c] = pos
+			}
+			e.compact[i][j] = blk.RelabelCols(remap, len(nnzCols))
+		}
+	}
+	for i := 0; i < p; i++ {
+		e.sendIdx[i] = make([][]int, p)
+		for j := 0; j < p; j++ {
+			if j != i {
+				e.sendIdx[i][j] = e.recvIdx[j][i]
+			}
+		}
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *SparsityAware1D) Name() string { return "sparsity-aware-1d" }
+
+// Layout implements Engine.
+func (e *SparsityAware1D) Layout() Layout { return e.layout }
+
+// BlockOf implements Engine.
+func (e *SparsityAware1D) BlockOf(rank int) int { return rank }
+
+// GradGroup implements Engine.
+func (e *SparsityAware1D) GradGroup(rank int) *comm.Group { return e.world.WorldGroup() }
+
+// Multiply implements Engine: pack requested rows, one all-to-allv, then a
+// compact SpMM per source block plus the diagonal block.
+func (e *SparsityAware1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	me := r.ID
+	f := hLocal.Cols
+	if hLocal.Rows != e.layout.Count(me) {
+		panic(fmt.Sprintf("distmm: rank %d got %d H rows, owns %d", me, hLocal.Rows, e.layout.Count(me)))
+	}
+	p := e.world.P
+	g := e.world.WorldGroup()
+	send := make([][]float64, p)
+	var packedElems int64
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		idx := e.sendIdx[me][j]
+		if len(idx) == 0 {
+			continue
+		}
+		buf := hLocal.GatherRows(idx)
+		send[j] = buf.Data
+		packedElems += int64(len(buf.Data))
+	}
+	// Packing the requested rows into send buffers is the extra local work
+	// sparsity-aware communication introduces (visible as the larger
+	// "local" bars in the paper's Figure 4 breakdown).
+	r.ChargeCompute("local", e.world.Params.CopyTime(packedElems*machine.BytesPerElem))
+
+	recv := g.AllToAllv(r, send, "alltoall")
+
+	z := dense.New(e.layout.Count(me), f)
+	e.diag[me].SpMMAddInto(z, hLocal)
+	r.ChargeCompute("local", e.world.Params.SpMMTime(e.diag[me].Flops(f)))
+	var unpackedElems int64
+	for j := 0; j < p; j++ {
+		if j == me || len(e.recvIdx[me][j]) == 0 {
+			continue
+		}
+		rows := len(e.recvIdx[me][j])
+		if len(recv[j]) != rows*f {
+			panic(fmt.Sprintf("distmm: rank %d expected %d elems from %d, got %d", me, rows*f, j, len(recv[j])))
+		}
+		hj := dense.FromSlice(rows, f, recv[j])
+		blk := e.compact[me][j]
+		blk.SpMMAddInto(z, hj)
+		unpackedElems += int64(rows * f)
+		r.ChargeCompute("local", e.world.Params.SpMMTime(blk.Flops(f)))
+	}
+	r.ChargeCompute("local", e.world.Params.CopyTime(unpackedElems*machine.BytesPerElem))
+	return z
+}

@@ -1,0 +1,274 @@
+package distmm
+
+import (
+	"fmt"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/machine"
+	"sagnn/internal/sparse"
+)
+
+// Grid organises P ranks as a (P/c)×c process grid for the 1.5D algorithms:
+// world rank = i*c + j for process P(i,j). Block row i of Aᵀ and H is
+// replicated on the c members of process row P(i,:).
+type Grid struct {
+	P, C  int
+	Rows  int // P/c block rows
+	world *comm.World
+	// rowGroups[i] spans P(i,:) — the all-reduce group.
+	rowGroups []*comm.Group
+	// colGroups[j] spans P(:,j) — the broadcast/p2p group, ordered by row.
+	colGroups []*comm.Group
+}
+
+// NewGrid validates the replication factor and builds the sub-communicators.
+// Requires c | P and P ≥ c² (so every process handles ≥ 1 stage).
+func NewGrid(w *comm.World, c int) *Grid {
+	if c < 1 || w.P%c != 0 {
+		panic(fmt.Sprintf("distmm: replication factor %d does not divide P=%d", c, w.P))
+	}
+	rows := w.P / c
+	if rows%c != 0 {
+		panic(fmt.Sprintf("distmm: 1.5D needs c² | P; got P=%d c=%d", w.P, c))
+	}
+	g := &Grid{P: w.P, C: c, Rows: rows, world: w}
+	for i := 0; i < rows; i++ {
+		members := make([]int, c)
+		for j := 0; j < c; j++ {
+			members[j] = i*c + j
+		}
+		g.rowGroups = append(g.rowGroups, w.NewGroup(members))
+	}
+	for j := 0; j < c; j++ {
+		members := make([]int, rows)
+		for i := 0; i < rows; i++ {
+			members[i] = i*c + j
+		}
+		g.colGroups = append(g.colGroups, w.NewGroup(members))
+	}
+	return g
+}
+
+// RowOf returns the process-row index i of a world rank.
+func (g *Grid) RowOf(rank int) int { return rank / g.C }
+
+// ColOf returns the process-column index j of a world rank.
+func (g *Grid) ColOf(rank int) int { return rank % g.C }
+
+// Stages returns s = P/c², the number of SpMM stages per process.
+func (g *Grid) Stages() int { return g.Rows / g.C }
+
+// Oblivious15D is the sparsity-oblivious 1.5D algorithm: at each stage the
+// owner broadcasts an entire H block down its process column; partial sums
+// are combined with an all-reduce across each process row.
+type Oblivious15D struct {
+	grid   *Grid
+	layout Layout // Rows blocks
+	// blocks[i][q] = A^T_{iq} for block row i (replicated per column, the
+	// engine indexes by block row).
+	blocks [][]*sparse.CSR
+}
+
+// NewOblivious15D splits aT into (P/c)² blocks.
+func NewOblivious15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *Oblivious15D {
+	grid := NewGrid(w, c)
+	if layout.Blocks() != grid.Rows {
+		panic(fmt.Sprintf("distmm: layout has %d blocks, grid has %d rows", layout.Blocks(), grid.Rows))
+	}
+	if layout.N() != aT.NumRows {
+		panic("distmm: layout does not match matrix")
+	}
+	e := &Oblivious15D{grid: grid, layout: layout, blocks: make([][]*sparse.CSR, grid.Rows)}
+	for i := 0; i < grid.Rows; i++ {
+		rlo, rhi := layout.Range(i)
+		rowBlock := aT.RowBlock(rlo, rhi)
+		e.blocks[i] = make([]*sparse.CSR, grid.Rows)
+		for q := 0; q < grid.Rows; q++ {
+			clo, chi := layout.Range(q)
+			e.blocks[i][q] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+		}
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *Oblivious15D) Name() string { return fmt.Sprintf("oblivious-1.5d(c=%d)", e.grid.C) }
+
+// Layout implements Engine.
+func (e *Oblivious15D) Layout() Layout { return e.layout }
+
+// BlockOf implements Engine: world rank i*c+j owns block row i.
+func (e *Oblivious15D) BlockOf(rank int) int { return e.grid.RowOf(rank) }
+
+// Grid exposes the process grid (for trainers that need row groups).
+func (e *Oblivious15D) Grid() *Grid { return e.grid }
+
+// GradGroup implements Engine: a process column sees every block row once.
+func (e *Oblivious15D) GradGroup(rank int) *comm.Group {
+	return e.grid.colGroups[e.grid.ColOf(rank)]
+}
+
+// Multiply implements Engine. Every rank in a process row returns the same
+// replicated Z block.
+func (e *Oblivious15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	grid := e.grid
+	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
+	f := hLocal.Cols
+	if hLocal.Rows != e.layout.Count(i) {
+		panic(fmt.Sprintf("distmm: rank %d got %d H rows, block row %d owns %d", r.ID, hLocal.Rows, i, e.layout.Count(i)))
+	}
+	s := grid.Stages()
+	col := grid.colGroups[j]
+	zHat := dense.New(e.layout.Count(i), f)
+	for k := 0; k < s; k++ {
+		q := j*s + k
+		var payload []float64
+		if q == i {
+			payload = hLocal.Data
+		}
+		data := col.BcastFloats(r, q, payload, "bcast")
+		hq := dense.FromSlice(e.layout.Count(q), f, data)
+		blk := e.blocks[i][q]
+		blk.SpMMAddInto(zHat, hq)
+		r.ChargeCompute("local", e.grid.world.Params.SpMMTime(blk.Flops(f)))
+	}
+	row := grid.rowGroups[i]
+	data := row.AllReduceSum(r, zHat.Data, "allreduce")
+	return dense.FromSlice(zHat.Rows, f, data)
+}
+
+// SparsityAware15D is the paper's Algorithm 2: the same staged 1.5D
+// schedule, but at each stage the owner point-to-point sends each consumer
+// only the H rows its block's nonzero columns require.
+type SparsityAware15D struct {
+	grid   *Grid
+	layout Layout
+	// recvIdx[i][q] = NnzCols(i, q): q-local H rows block row i needs.
+	recvIdx [][][]int
+	// compact[i][q] = A^T_{iq} relabeled to recvIdx positions.
+	compact [][]*sparse.CSR
+	// diag[i] = A^T_{ii} kept at full block width for the local stage.
+	diag []*sparse.CSR
+}
+
+// NewSparsityAware15D computes the NnzCols structure for the 1.5D layout.
+func NewSparsityAware15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *SparsityAware15D {
+	grid := NewGrid(w, c)
+	if layout.Blocks() != grid.Rows {
+		panic(fmt.Sprintf("distmm: layout has %d blocks, grid has %d rows", layout.Blocks(), grid.Rows))
+	}
+	if layout.N() != aT.NumRows {
+		panic("distmm: layout does not match matrix")
+	}
+	e := &SparsityAware15D{
+		grid:    grid,
+		layout:  layout,
+		recvIdx: make([][][]int, grid.Rows),
+		compact: make([][]*sparse.CSR, grid.Rows),
+		diag:    make([]*sparse.CSR, grid.Rows),
+	}
+	for i := 0; i < grid.Rows; i++ {
+		rlo, rhi := layout.Range(i)
+		rowBlock := aT.RowBlock(rlo, rhi)
+		e.recvIdx[i] = make([][]int, grid.Rows)
+		e.compact[i] = make([]*sparse.CSR, grid.Rows)
+		for q := 0; q < grid.Rows; q++ {
+			clo, chi := layout.Range(q)
+			blk := rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+			if q == i {
+				e.diag[i] = blk
+				continue
+			}
+			nnzCols := blk.NnzColsInRange(sparse.ColRange{Lo: 0, Hi: chi - clo})
+			e.recvIdx[i][q] = nnzCols
+			remap := make([]int, chi-clo)
+			for k := range remap {
+				remap[k] = -1
+			}
+			for pos, cix := range nnzCols {
+				remap[cix] = pos
+			}
+			e.compact[i][q] = blk.RelabelCols(remap, len(nnzCols))
+		}
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *SparsityAware15D) Name() string { return fmt.Sprintf("sparsity-aware-1.5d(c=%d)", e.grid.C) }
+
+// Layout implements Engine.
+func (e *SparsityAware15D) Layout() Layout { return e.layout }
+
+// BlockOf implements Engine.
+func (e *SparsityAware15D) BlockOf(rank int) int { return e.grid.RowOf(rank) }
+
+// Grid exposes the process grid.
+func (e *SparsityAware15D) Grid() *Grid { return e.grid }
+
+// GradGroup implements Engine: a process column sees every block row once.
+func (e *SparsityAware15D) GradGroup(rank int) *comm.Group {
+	return e.grid.colGroups[e.grid.ColOf(rank)]
+}
+
+// Multiply implements Engine following Algorithm 2: for each stage k the
+// owner P(q,j) Isends the requested rows to every member of its process
+// column; each member Recvs, multiplies its compact block, and finally the
+// partial sums are all-reduced across the process row.
+func (e *SparsityAware15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	grid := e.grid
+	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
+	f := hLocal.Cols
+	if hLocal.Rows != e.layout.Count(i) {
+		panic(fmt.Sprintf("distmm: rank %d got %d H rows, block row %d owns %d", r.ID, hLocal.Rows, i, e.layout.Count(i)))
+	}
+	s := grid.Stages()
+	zHat := dense.New(e.layout.Count(i), f)
+	for k := 0; k < s; k++ {
+		q := j*s + k
+		if q == i {
+			// I am the stage owner: serve every other member of my column,
+			// then multiply my own (full-width) diagonal-stage block locally.
+			var packedElems int64
+			for l := 0; l < grid.Rows; l++ {
+				if l == i {
+					continue
+				}
+				idx := e.recvIdx[l][q]
+				dst := l*grid.C + j
+				if len(idx) == 0 {
+					r.Send(dst, k, nil, "alltoall")
+					continue
+				}
+				buf := hLocal.GatherRows(idx)
+				packedElems += int64(len(buf.Data))
+				r.Send(dst, k, buf.Data, "alltoall")
+			}
+			r.ChargeCompute("local", grid.world.Params.CopyTime(packedElems*machine.BytesPerElem))
+			blk := e.diag[i]
+			blk.SpMMAddInto(zHat, hLocal)
+			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
+			continue
+		}
+		src := q*grid.C + j
+		data := r.Recv(src, k, "alltoall")
+		rows := len(e.recvIdx[i][q])
+		if len(data) != rows*f {
+			panic(fmt.Sprintf("distmm: rank %d stage %d expected %d elems, got %d", r.ID, k, rows*f, len(data)))
+		}
+		if rows > 0 {
+			hq := dense.FromSlice(rows, f, data)
+			blk := e.compact[i][q]
+			blk.SpMMAddInto(zHat, hq)
+			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
+		}
+	}
+	// Drain: every stage owner sent to all column members, and every member
+	// received exactly its stage messages; but members of this column whose
+	// q ranges do not include row i still sent nothing to us, so no drain is
+	// needed — the stage schedule is a perfect matching.
+	row := grid.rowGroups[i]
+	data := row.AllReduceSum(r, zHat.Data, "allreduce")
+	return dense.FromSlice(zHat.Rows, f, data)
+}

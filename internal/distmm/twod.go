@@ -1,0 +1,245 @@
+package distmm
+
+import (
+	"fmt"
+	"math"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/machine"
+	"sagnn/internal/sparse"
+)
+
+// The 2D algorithms generalise sparsity-awareness to a SUMMA-style √P×√P
+// grid, the direction the paper's conclusion points at ("the same idea ...
+// can be applied to other communication-avoiding partitioning schemes, such
+// as 2D, 2.5D, or 3D"). CAGNET found 2D less performant than 1D/1.5D for
+// GNN training, so these engines are provided as standalone SpMM kernels
+// (with the paper's stationary-A optimization: the sparse blocks are
+// replicated along process rows once at setup, since A never changes during
+// training) rather than wired into the trainer.
+//
+// Data layout for process P(i,j) on an r×r grid (rank = i·r + j):
+//
+//	A_ik  for all k — block row i of A, replicated along the process row.
+//	H_ij — the (rowBlock i, colBlock j) block of the dense matrix.
+//	Z_ij — same shape as H_ij.
+//
+// Stage k of Multiply moves block H_kj down process column j (broadcast for
+// the oblivious engine; point-to-point gathers of only the needed rows for
+// the sparsity-aware engine) and accumulates Z_ij += A_ik · H_kj.
+
+// Grid2D maps ranks onto an r×r grid with row and column sub-communicators.
+type Grid2D struct {
+	R     int
+	world *comm.World
+	cols  []*comm.Group // cols[j] spans P(:,j), ordered by row
+}
+
+// NewGrid2D requires P to be a perfect square.
+func NewGrid2D(w *comm.World) *Grid2D {
+	r := int(math.Round(math.Sqrt(float64(w.P))))
+	if r*r != w.P {
+		panic(fmt.Sprintf("distmm: 2D grid needs square P, got %d", w.P))
+	}
+	g := &Grid2D{R: r, world: w}
+	for j := 0; j < r; j++ {
+		members := make([]int, r)
+		for i := 0; i < r; i++ {
+			members[i] = i*r + j
+		}
+		g.cols = append(g.cols, w.NewGroup(members))
+	}
+	return g
+}
+
+// RowOf returns the grid row of a world rank.
+func (g *Grid2D) RowOf(rank int) int { return rank / g.R }
+
+// ColOf returns the grid column of a world rank.
+func (g *Grid2D) ColOf(rank int) int { return rank % g.R }
+
+// Oblivious2D is the sparsity-oblivious SUMMA SpMM: every stage broadcasts
+// a full H block down each process column.
+type Oblivious2D struct {
+	grid *Grid2D
+	rows Layout // n split into r row blocks
+	cols Layout // f split into r column blocks
+	// blocks[i][k] = A_{ik}, replicated along process row i.
+	blocks [][]*sparse.CSR
+}
+
+// NewOblivious2D splits aT into r×r blocks and the dense width f into r
+// column blocks.
+func NewOblivious2D(w *comm.World, aT *sparse.CSR, f int) *Oblivious2D {
+	grid := NewGrid2D(w)
+	r := grid.R
+	if aT.NumRows != aT.NumCols {
+		panic("distmm: 2D needs a square sparse matrix")
+	}
+	e := &Oblivious2D{grid: grid, rows: UniformLayout(aT.NumRows, r), cols: UniformLayout(f, r)}
+	e.blocks = splitBlocks(aT, e.rows)
+	return e
+}
+
+// splitBlocks cuts aT into layout×layout blocks.
+func splitBlocks(aT *sparse.CSR, lay Layout) [][]*sparse.CSR {
+	r := lay.Blocks()
+	out := make([][]*sparse.CSR, r)
+	for i := 0; i < r; i++ {
+		rlo, rhi := lay.Range(i)
+		rowBlock := aT.RowBlock(rlo, rhi)
+		out[i] = make([]*sparse.CSR, r)
+		for k := 0; k < r; k++ {
+			clo, chi := lay.Range(k)
+			out[i][k] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+		}
+	}
+	return out
+}
+
+// Name identifies the engine.
+func (e *Oblivious2D) Name() string { return "oblivious-2d" }
+
+// RowLayout returns the distribution of matrix rows over grid rows.
+func (e *Oblivious2D) RowLayout() Layout { return e.rows }
+
+// ColLayout returns the distribution of dense columns over grid columns.
+func (e *Oblivious2D) ColLayout() Layout { return e.cols }
+
+// Multiply computes Z_ij for this rank given its local H_ij block.
+func (e *Oblivious2D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	grid := e.grid
+	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
+	if hLocal.Rows != e.rows.Count(i) || hLocal.Cols != e.cols.Count(j) {
+		panic(fmt.Sprintf("distmm: rank %d H block %dx%d, want %dx%d",
+			r.ID, hLocal.Rows, hLocal.Cols, e.rows.Count(i), e.cols.Count(j)))
+	}
+	col := grid.cols[j]
+	z := dense.New(e.rows.Count(i), e.cols.Count(j))
+	for k := 0; k < grid.R; k++ {
+		var payload []float64
+		if k == i {
+			payload = hLocal.Data
+		}
+		data := col.BcastFloats(r, k, payload, "bcast")
+		hk := dense.FromSlice(e.rows.Count(k), e.cols.Count(j), data)
+		blk := e.blocks[i][k]
+		blk.SpMMAddInto(z, hk)
+		r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(hk.Cols)))
+	}
+	return z
+}
+
+// SparsityAware2D sends, at each SUMMA stage, only the H rows named by the
+// nonzero columns of A_{ik} — the paper's NnzCols idea on a 2D grid. The
+// needed row set depends only on the sparse block, so it is identical for
+// every process column.
+type SparsityAware2D struct {
+	grid *Grid2D
+	rows Layout
+	cols Layout
+	// recvIdx[i][k] = NnzCols(A_{ik}) as k-local row indices.
+	recvIdx [][][]int
+	// compact[i][k] = A_{ik} with columns relabeled to recvIdx positions
+	// (diagonal k==i blocks stay full width).
+	compact [][]*sparse.CSR
+	diag    []*sparse.CSR
+}
+
+// NewSparsityAware2D computes the NnzCols structure on the 2D layout.
+func NewSparsityAware2D(w *comm.World, aT *sparse.CSR, f int) *SparsityAware2D {
+	grid := NewGrid2D(w)
+	r := grid.R
+	if aT.NumRows != aT.NumCols {
+		panic("distmm: 2D needs a square sparse matrix")
+	}
+	e := &SparsityAware2D{grid: grid, rows: UniformLayout(aT.NumRows, r), cols: UniformLayout(f, r)}
+	blocks := splitBlocks(aT, e.rows)
+	e.recvIdx = make([][][]int, r)
+	e.compact = make([][]*sparse.CSR, r)
+	e.diag = make([]*sparse.CSR, r)
+	for i := 0; i < r; i++ {
+		e.recvIdx[i] = make([][]int, r)
+		e.compact[i] = make([]*sparse.CSR, r)
+		for k := 0; k < r; k++ {
+			blk := blocks[i][k]
+			if k == i {
+				e.diag[i] = blk
+				continue
+			}
+			nnz := blk.NnzColsInRange(sparse.ColRange{Lo: 0, Hi: blk.NumCols})
+			e.recvIdx[i][k] = nnz
+			remap := make([]int, blk.NumCols)
+			for x := range remap {
+				remap[x] = -1
+			}
+			for pos, c := range nnz {
+				remap[c] = pos
+			}
+			e.compact[i][k] = blk.RelabelCols(remap, len(nnz))
+		}
+	}
+	return e
+}
+
+// Name identifies the engine.
+func (e *SparsityAware2D) Name() string { return "sparsity-aware-2d" }
+
+// RowLayout returns the distribution of matrix rows over grid rows.
+func (e *SparsityAware2D) RowLayout() Layout { return e.rows }
+
+// ColLayout returns the distribution of dense columns over grid columns.
+func (e *SparsityAware2D) ColLayout() Layout { return e.cols }
+
+// Multiply computes Z_ij. At stage k, process P(k,j) serves each P(i,j)
+// the rows recvIdx[i][k] of its H block; everyone multiplies its compact
+// block.
+func (e *SparsityAware2D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	grid := e.grid
+	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
+	if hLocal.Rows != e.rows.Count(i) || hLocal.Cols != e.cols.Count(j) {
+		panic(fmt.Sprintf("distmm: rank %d H block %dx%d, want %dx%d",
+			r.ID, hLocal.Rows, hLocal.Cols, e.rows.Count(i), e.cols.Count(j)))
+	}
+	f := hLocal.Cols
+	z := dense.New(e.rows.Count(i), e.cols.Count(j))
+	for k := 0; k < grid.R; k++ {
+		if k == i {
+			// Stage owner: serve the column, multiply own diagonal block.
+			var packed int64
+			for l := 0; l < grid.R; l++ {
+				if l == i {
+					continue
+				}
+				idx := e.recvIdx[l][k]
+				dst := l*grid.R + j
+				if len(idx) == 0 {
+					r.Send(dst, k, nil, "alltoall")
+					continue
+				}
+				buf := hLocal.GatherRows(idx)
+				packed += int64(len(buf.Data))
+				r.Send(dst, k, buf.Data, "alltoall")
+			}
+			r.ChargeCompute("local", grid.world.Params.CopyTime(packed*machine.BytesPerElem))
+			blk := e.diag[i]
+			blk.SpMMAddInto(z, hLocal)
+			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
+			continue
+		}
+		src := k*grid.R + j
+		data := r.Recv(src, k, "alltoall")
+		rows := len(e.recvIdx[i][k])
+		if len(data) != rows*f {
+			panic(fmt.Sprintf("distmm: rank %d 2D stage %d expected %d elems, got %d", r.ID, k, rows*f, len(data)))
+		}
+		if rows > 0 {
+			hk := dense.FromSlice(rows, f, data)
+			blk := e.compact[i][k]
+			blk.SpMMAddInto(z, hk)
+			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
+		}
+	}
+	return z
+}

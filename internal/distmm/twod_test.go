@@ -1,0 +1,129 @@
+package distmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/gen"
+	"sagnn/internal/machine"
+)
+
+// run2D executes a 2D engine collectively and reassembles the global Z.
+type engine2D interface {
+	RowLayout() Layout
+	ColLayout() Layout
+	Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix
+}
+
+func run2D(t *testing.T, w *comm.World, e engine2D, h *dense.Matrix) *dense.Matrix {
+	t.Helper()
+	rows, cols := e.RowLayout(), e.ColLayout()
+	r := rows.Blocks()
+	out := dense.New(h.Rows, h.Cols)
+	type cell struct {
+		i, j int
+		z    *dense.Matrix
+	}
+	results := make(chan cell, w.P)
+	w.Run(func(rk *comm.Rank) {
+		i, j := rk.ID/r, rk.ID%r
+		rlo, rhi := rows.Range(i)
+		clo, chi := cols.Range(j)
+		hij := dense.New(rhi-rlo, chi-clo)
+		for x := rlo; x < rhi; x++ {
+			copy(hij.Row(x-rlo), h.Row(x)[clo:chi])
+		}
+		results <- cell{i: i, j: j, z: e.Multiply(rk, hij)}
+	})
+	close(results)
+	for c := range results {
+		rlo, _ := rows.Range(c.i)
+		clo, _ := cols.Range(c.j)
+		for x := 0; x < c.z.Rows; x++ {
+			copy(out.Row(rlo + x)[clo:clo+c.z.Cols], c.z.Row(x))
+		}
+	}
+	return out
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	w := comm.NewWorld(9, machine.Perlmutter())
+	g := NewGrid2D(w)
+	if g.R != 3 {
+		t.Fatalf("R=%d", g.R)
+	}
+	if g.RowOf(7) != 2 || g.ColOf(7) != 1 {
+		t.Fatalf("rank 7 -> (%d,%d)", g.RowOf(7), g.ColOf(7))
+	}
+}
+
+func TestGrid2DNonSquarePanics(t *testing.T) {
+	w := comm.NewWorld(6, machine.Perlmutter())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGrid2D(w)
+}
+
+func TestOblivious2DMatchesSerial(t *testing.T) {
+	a := randomSym(21, 60, 6)
+	h := dense.NewRandom(rand.New(rand.NewSource(22)), 60, 12, 1.0)
+	want := a.SpMM(h)
+	for _, p := range []int{1, 4, 9, 16} {
+		w := comm.NewWorld(p, machine.Perlmutter())
+		e := NewOblivious2D(w, a, h.Cols)
+		got := run2D(t, w, e, h)
+		if got.MaxAbsDiff(want) > 1e-10 {
+			t.Fatalf("p=%d diff %g", p, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestSparsityAware2DMatchesSerial(t *testing.T) {
+	a := randomSym(23, 60, 6)
+	h := dense.NewRandom(rand.New(rand.NewSource(24)), 60, 12, 1.0)
+	want := a.SpMM(h)
+	for _, p := range []int{1, 4, 9, 16} {
+		w := comm.NewWorld(p, machine.Perlmutter())
+		e := NewSparsityAware2D(w, a, h.Cols)
+		got := run2D(t, w, e, h)
+		if got.MaxAbsDiff(want) > 1e-10 {
+			t.Fatalf("p=%d diff %g", p, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestSparsityAware2DNarrowF(t *testing.T) {
+	// f smaller than the grid dimension exercises empty column blocks.
+	a := randomSym(25, 36, 4)
+	h := dense.NewRandom(rand.New(rand.NewSource(26)), 36, 2, 1.0)
+	want := a.SpMM(h)
+	w := comm.NewWorld(9, machine.Perlmutter())
+	e := NewSparsityAware2D(w, a, 2)
+	got := run2D(t, w, e, h)
+	if got.MaxAbsDiff(want) > 1e-10 {
+		t.Fatalf("diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestSparsityAware2DCommunicatesLess(t *testing.T) {
+	g := gen.Banded(360, 8, 10, 27)
+	a := g.NormalizedAdjacency()
+	h := dense.NewRandom(rand.New(rand.NewSource(28)), 360, 18, 1.0)
+
+	wO := comm.NewWorld(9, machine.Perlmutter())
+	run2D(t, wO, NewOblivious2D(wO, a, h.Cols), h)
+	oblivRecv := wO.Stats().TotalRecv()
+
+	wS := comm.NewWorld(9, machine.Perlmutter())
+	run2D(t, wS, NewSparsityAware2D(wS, a, h.Cols), h)
+	saRecv := wS.Stats().TotalRecv()
+
+	if saRecv*2 > oblivRecv {
+		t.Fatalf("SA2D recv %d should be ≪ oblivious %d", saRecv, oblivRecv)
+	}
+}

@@ -1,0 +1,191 @@
+// Package experiments reproduces the paper's evaluation: Table 2 and
+// Figures 3–7, plus the ablations DESIGN.md calls out. Each experiment is a
+// pure function from a configuration to structured rows/series, so the CLI
+// (cmd/gnnbench) and the benchmark harness (bench_test.go) share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/distmm"
+	"sagnn/internal/gcn"
+	"sagnn/internal/gen"
+	"sagnn/internal/machine"
+	"sagnn/internal/partition"
+)
+
+// Scheme names a training configuration from the paper's legend.
+type Scheme string
+
+// The schemes compared throughout Section 7.
+const (
+	// SchemeCAGNET is the sparsity-oblivious baseline (broadcast whole
+	// blocks), under the default block distribution.
+	SchemeCAGNET Scheme = "CAGNET"
+	// SchemeSA is sparsity-aware communication without a partitioner.
+	SchemeSA Scheme = "SA"
+	// SchemeSAMetis is sparsity-aware + the edgecut-only partitioner.
+	SchemeSAMetis Scheme = "SA+METIS"
+	// SchemeSAGVB is sparsity-aware + the volume-balancing partitioner.
+	SchemeSAGVB Scheme = "SA+GVB"
+)
+
+// RunConfig describes one training measurement.
+type RunConfig struct {
+	Dataset  gen.Preset
+	ScaleDiv int // divide preset size by this power-of-two factor (1 = full)
+	P        int // total processes (GPUs in the paper)
+	C        int // replication factor; 1 selects the 1D algorithms
+	Scheme   Scheme
+	Epochs   int // epochs to simulate (timings are reported per epoch)
+	Hidden   int
+	Layers   int
+	Seed     int64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.ScaleDiv == 0 {
+		c.ScaleDiv = 1
+	}
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 1
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 16
+	}
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// RunResult is one measured configuration.
+type RunResult struct {
+	Config RunConfig
+	// EpochSec is the modeled bulk-synchronous epoch time.
+	EpochSec float64
+	// Breakdown maps phase ("bcast", "alltoall", "allreduce", "local") to
+	// modeled seconds per epoch — the paper's Figure 4/5 bars.
+	Breakdown map[string]float64
+	// AvgSentMB / MaxSentMB are exact measured per-process send volumes per
+	// epoch; ImbalancePct = (max/avg − 1)·100. Broadcast roots are charged
+	// their payload once (collectives forward data inside the network), so
+	// cross-scheme wire-volume comparisons should use the receive side.
+	AvgSentMB    float64
+	MaxSentMB    float64
+	ImbalancePct float64
+	// TotalRecvMB is the total bytes delivered to all processes per epoch —
+	// the scheme-comparable wire volume.
+	TotalRecvMB float64
+	// FinalLoss verifies the run trained (identical across schemes up to
+	// floating-point reassociation).
+	FinalLoss float64
+	// Quality is the partition quality if a partitioner was used.
+	Quality *partition.Quality
+}
+
+var (
+	dsCacheMu sync.Mutex
+	dsCache   = map[string]*gen.Dataset{}
+)
+
+// loadDataset memoises gen.Load across experiment sweeps.
+func loadDataset(p gen.Preset, seed int64, scaleDiv int) *gen.Dataset {
+	key := fmt.Sprintf("%s/%d/%d", p, seed, scaleDiv)
+	dsCacheMu.Lock()
+	defer dsCacheMu.Unlock()
+	if d, ok := dsCache[key]; ok {
+		return d
+	}
+	d := gen.MustLoad(p, seed, scaleDiv)
+	dsCache[key] = d
+	return d
+}
+
+// partitionerFor maps a scheme to its partitioner (nil = plain block
+// distribution).
+func partitionerFor(s Scheme, seed int64) partition.Partitioner {
+	switch s {
+	case SchemeCAGNET, SchemeSA:
+		return nil
+	case SchemeSAMetis:
+		return partition.MetisLike{Seed: seed}
+	case SchemeSAGVB:
+		return partition.GVB{Seed: seed}
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme %q", s))
+	}
+}
+
+// Run executes one configuration end to end: load data, partition, build
+// the world and engine, train, and convert the ledger into per-epoch
+// figures.
+func Run(cfg RunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	ds := loadDataset(cfg.Dataset, cfg.Seed, cfg.ScaleDiv)
+	n := ds.G.NumVertices()
+	k := cfg.P / cfg.C // number of blocks
+
+	aHat := ds.G.NormalizedAdjacency()
+	x, labels, train := ds.Features, ds.Labels, ds.Train
+	var layout distmm.Layout
+	var quality *partition.Quality
+
+	if pt := partitionerFor(cfg.Scheme, cfg.Seed); pt != nil {
+		part := pt.Partition(ds.G, k)
+		q := partition.Evaluate(pt.Name(), ds.G, part)
+		quality = &q
+		perm := part.Perm()
+		aHat = aHat.PermuteSymmetric(perm)
+		var sets [][]int
+		x, labels, sets = gcn.ApplyPerm(perm, x, labels, train)
+		train = sets[0]
+		layout = distmm.LayoutFromOffsets(part.Offsets())
+	} else {
+		layout = distmm.UniformLayout(n, k)
+	}
+
+	world := comm.NewWorld(cfg.P, machine.Perlmutter())
+	var engine distmm.Engine
+	switch {
+	case cfg.Scheme == SchemeCAGNET && cfg.C == 1:
+		engine = distmm.NewOblivious1D(world, aHat, layout)
+	case cfg.Scheme == SchemeCAGNET:
+		engine = distmm.NewOblivious15D(world, aHat, cfg.C, layout)
+	case cfg.C == 1:
+		engine = distmm.NewSparsityAware1D(world, aHat, layout)
+	default:
+		engine = distmm.NewSparsityAware15D(world, aHat, cfg.C, layout)
+	}
+
+	dims := gcn.LayerDims(x.Cols, cfg.Hidden, ds.Classes, cfg.Layers)
+	trainer := gcn.NewDistributed(world, engine, x, labels, train, dims, 0.05, cfg.Seed)
+	results := trainer.TrainEpochs(cfg.Epochs)
+
+	world.Ledger.Scale(1 / float64(cfg.Epochs))
+	res := RunResult{
+		Config:    cfg,
+		EpochSec:  world.Ledger.Total(),
+		Breakdown: world.Ledger.Breakdown(),
+		FinalLoss: results[len(results)-1].Loss,
+		Quality:   quality,
+	}
+	const mb = 1e6
+	epochs := float64(cfg.Epochs)
+	res.AvgSentMB = world.Stats().AvgSent() / epochs / mb
+	res.MaxSentMB = float64(world.Stats().MaxSent()) / epochs / mb
+	res.TotalRecvMB = float64(world.Stats().TotalRecv()) / epochs / mb
+	if res.AvgSentMB > 0 {
+		res.ImbalancePct = (res.MaxSentMB/res.AvgSentMB - 1) * 100
+	}
+	return res
+}

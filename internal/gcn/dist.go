@@ -1,0 +1,193 @@
+package gcn
+
+import (
+	"fmt"
+	"math"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/distmm"
+	"sagnn/internal/opt"
+)
+
+// Distributed trains a GCN with block-row parallelism over any
+// distmm.Engine (oblivious or sparsity-aware, 1D or 1.5D). Every rank keeps
+// a full weight replica; replicas stay bit-consistent because gradients are
+// all-reduced before the update.
+type Distributed struct {
+	World  *comm.World
+	Engine distmm.Engine
+	// X, Labels, Train are global and already permuted into the engine's
+	// vertex order (see ApplyPerm).
+	X      *dense.Matrix
+	Labels []int
+	Train  []int
+	Dims   []int
+	LR     float64
+	Seed   int64
+	// NewOpt, if non-nil, constructs each rank's optimizer (each weight
+	// replica needs its own optimizer state; determinism keeps replicas
+	// identical). Nil means SGD at LR.
+	NewOpt func() opt.Optimizer
+	// Variant selects the layer operation (GCNConv default or SAGEConv).
+	// The communication pattern is identical for both — one distributed
+	// SpMM per layer per direction — which is the paper's generality claim.
+	Variant Variant
+	// FinalModel is set after TrainEpochs completes: the trained weights
+	// (identical on every rank; rank 0's copy is kept).
+	FinalModel *Model
+}
+
+// NewDistributed validates shapes.
+func NewDistributed(w *comm.World, e distmm.Engine, x *dense.Matrix, labels []int, train []int, dims []int, lr float64, seed int64) *Distributed {
+	if e.Layout().N() != x.Rows {
+		panic(fmt.Sprintf("gcn: engine layout n=%d, X has %d rows", e.Layout().N(), x.Rows))
+	}
+	if len(labels) != x.Rows {
+		panic("gcn: labels misaligned")
+	}
+	if dims[0] != x.Cols {
+		panic(fmt.Sprintf("gcn: dims[0]=%d, X has %d features", dims[0], x.Cols))
+	}
+	return &Distributed{World: w, Engine: e, X: x, Labels: labels, Train: train, Dims: dims, LR: lr, Seed: seed}
+}
+
+// TrainEpochs runs full-batch training for the given number of epochs
+// across all ranks and returns the per-epoch loss/accuracy trajectory
+// (identical on every rank; recorded once).
+func (d *Distributed) TrainEpochs(epochs int) []EpochResult {
+	results := make([]EpochResult, epochs)
+	lay := d.Engine.Layout()
+	nTrain := float64(len(d.Train))
+	d.World.Run(func(r *comm.Rank) {
+		b := d.Engine.BlockOf(r.ID)
+		lo, hi := lay.Range(b)
+		xLocal := d.X.SliceRows(lo, hi).Clone()
+		localTrain := make([]int, 0)
+		for _, v := range d.Train {
+			if v >= lo && v < hi {
+				localTrain = append(localTrain, v-lo)
+			}
+		}
+		model := NewModelVariant(d.Seed, d.Dims, d.Variant)
+		L := model.Layers()
+		gg := d.Engine.GradGroup(r.ID)
+		params := d.World.Params
+		var optimizer opt.Optimizer
+		if d.NewOpt != nil {
+			optimizer = d.NewOpt()
+		} else {
+			optimizer = &opt.SGD{LR: d.LR}
+		}
+
+		for e := 0; e < epochs; e++ {
+			// Forward.
+			hs := make([]*dense.Matrix, L+1)
+			zs := make([]*dense.Matrix, L+1)
+			ps := make([]*dense.Matrix, L+1)
+			hs[0] = xLocal
+			for l := 1; l <= L; l++ {
+				agg := d.Engine.Multiply(r, hs[l-1])
+				if d.Variant == SAGEConv {
+					ps[l] = dense.HStack(agg, hs[l-1])
+				} else {
+					ps[l] = agg
+				}
+				w := model.Weights[l-1]
+				zs[l] = dense.MatMul(ps[l], w)
+				r.ChargeCompute("local", params.GEMMTime(2*int64(ps[l].Rows)*int64(w.Rows)*int64(w.Cols)))
+				if l < L {
+					h := zs[l].Clone()
+					h.ReLU()
+					hs[l] = h
+				} else {
+					hs[l] = zs[l]
+				}
+			}
+
+			// Loss and output gradient on local rows, globally scaled.
+			probs := hs[L].Clone()
+			dense.SoftmaxRows(probs)
+			g := dense.New(probs.Rows, probs.Cols)
+			localLoss, localCorrect := 0.0, 0.0
+			for _, i := range localTrain {
+				row := probs.Row(i)
+				y := d.Labels[lo+i]
+				p := row[y]
+				if p < 1e-12 {
+					p = 1e-12
+				}
+				localLoss -= math.Log(p)
+				grow := g.Row(i)
+				best, bestv := 0, row[0]
+				for j, v := range row {
+					grow[j] = v / nTrain
+					if v > bestv {
+						best, bestv = j, v
+					}
+				}
+				grow[y] -= 1 / nTrain
+				if best == y {
+					localCorrect++
+				}
+			}
+			red := gg.AllReduceSum(r, []float64{localLoss, localCorrect}, "allreduce")
+			loss := red[0] / nTrain
+			acc := red[1] / nTrain
+
+			// Backward.
+			grads := make([]*dense.Matrix, L)
+			for l := L; l >= 1; l-- {
+				yl := dense.MatMulTransA(ps[l], g)
+				r.ChargeCompute("local", params.GEMMTime(2*int64(ps[l].Rows)*int64(yl.Rows)*int64(yl.Cols)))
+				sum := gg.AllReduceSum(r, yl.Data, "allreduce")
+				grads[l-1] = dense.FromSlice(yl.Rows, yl.Cols, sum)
+				if l == 1 {
+					break
+				}
+				w := model.Weights[l-1]
+				if d.Variant == SAGEConv {
+					dc := dense.MatMulTransB(g, w)
+					r.ChargeCompute("local", params.GEMMTime(2*int64(g.Rows)*int64(w.Cols)*int64(w.Rows)))
+					dp, dself := dc.SplitCols(w.Rows / 2)
+					g = d.Engine.Multiply(r, dp)
+					g.Add(dself)
+				} else {
+					ag := d.Engine.Multiply(r, g)
+					g = dense.MatMulTransB(ag, w)
+					r.ChargeCompute("local", params.GEMMTime(2*int64(ag.Rows)*int64(w.Cols)*int64(w.Rows)))
+				}
+				g.Hadamard(zs[l-1].ReLUDeriv())
+			}
+			optimizer.Step(model.Weights, grads)
+			if r.ID == 0 {
+				results[e] = EpochResult{Epoch: e, Loss: loss, TrainAcc: acc}
+			}
+		}
+		if r.ID == 0 {
+			d.FinalModel = model
+		}
+	})
+	return results
+}
+
+// ApplyPerm relabels a dataset into a partitioner's vertex order: features
+// move to permuted rows, labels follow, and index sets are mapped. It is
+// the "rearranging the rows of H to match the new vertex ids" preprocessing
+// step of Section 6.2.
+func ApplyPerm(perm []int, x *dense.Matrix, labels []int, idxSets ...[]int) (*dense.Matrix, []int, [][]int) {
+	px := x.PermuteRows(perm)
+	plabels := make([]int, len(labels))
+	for v, l := range labels {
+		plabels[perm[v]] = l
+	}
+	psets := make([][]int, len(idxSets))
+	for s, set := range idxSets {
+		ps := make([]int, len(set))
+		for i, v := range set {
+			ps[i] = perm[v]
+		}
+		psets[s] = ps
+	}
+	return px, plabels, psets
+}

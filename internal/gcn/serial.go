@@ -1,0 +1,137 @@
+package gcn
+
+import (
+	"fmt"
+
+	"sagnn/internal/dense"
+	"sagnn/internal/opt"
+	"sagnn/internal/sparse"
+)
+
+// Serial is the single-process reference trainer. It is the ground truth
+// the distributed trainers are tested against (same seeds → same loss
+// trajectory to floating-point reassociation tolerance).
+type Serial struct {
+	A      *sparse.CSR // GCN-normalized adjacency, symmetric
+	X      *dense.Matrix
+	Labels []int
+	Train  []int
+	Model  *Model
+	LR     float64
+	// Opt overrides the optimizer; nil means SGD at LR.
+	Opt opt.Optimizer
+	// Variant selects the layer operation (GCNConv default, or SAGEConv);
+	// the model's weights must be shaped accordingly (NewModelVariant).
+	Variant Variant
+}
+
+// NewSerial validates shapes and wraps the training state.
+func NewSerial(a *sparse.CSR, x *dense.Matrix, labels []int, train []int, model *Model, lr float64) *Serial {
+	if a.NumRows != a.NumCols || a.NumRows != x.Rows {
+		panic(fmt.Sprintf("gcn: A %dx%d vs X %d rows", a.NumRows, a.NumCols, x.Rows))
+	}
+	if len(labels) != x.Rows {
+		panic("gcn: labels misaligned")
+	}
+	if model.Weights[0].Rows != x.Cols && model.Weights[0].Rows != 2*x.Cols {
+		panic(fmt.Sprintf("gcn: W1 expects %d input rows, X has %d features", model.Weights[0].Rows, x.Cols))
+	}
+	return &Serial{A: a, X: x, Labels: labels, Train: train, Model: model, LR: lr}
+}
+
+// forward runs all layers, returning pre-activations Z, activations H
+// (H[0] = X), and the cached GEMM inputs P[l] (Â·H[l-1] for GCNConv,
+// [Â·H[l-1] | H[l-1]] for SAGEConv).
+func (s *Serial) forward() (zs, hs, ps []*dense.Matrix) {
+	L := s.Model.Layers()
+	hs = make([]*dense.Matrix, L+1)
+	zs = make([]*dense.Matrix, L+1)
+	ps = make([]*dense.Matrix, L+1)
+	hs[0] = s.X
+	for l := 1; l <= L; l++ {
+		agg := s.A.SpMM(hs[l-1])
+		if s.Variant == SAGEConv {
+			ps[l] = dense.HStack(agg, hs[l-1])
+		} else {
+			ps[l] = agg
+		}
+		zs[l] = dense.MatMul(ps[l], s.Model.Weights[l-1])
+		if l < L {
+			h := zs[l].Clone()
+			h.ReLU()
+			hs[l] = h
+		} else {
+			hs[l] = zs[l]
+		}
+	}
+	return zs, hs, ps
+}
+
+// Predict returns row-wise class probabilities for all vertices.
+func (s *Serial) Predict() *dense.Matrix {
+	_, hs, _ := s.forward()
+	probs := hs[len(hs)-1].Clone()
+	dense.SoftmaxRows(probs)
+	return probs
+}
+
+// Gradients runs one forward/backward pass and returns (loss, trainAcc,
+// weight gradients) without updating the model.
+func (s *Serial) Gradients() (float64, float64, []*dense.Matrix) {
+	L := s.Model.Layers()
+	zs, hs, ps := s.forward()
+	probs := hs[L].Clone()
+	dense.SoftmaxRows(probs)
+	loss, g := dense.CrossEntropyLoss(probs, s.Labels, s.Train)
+	acc := dense.Accuracy(probs, s.Labels, s.Train)
+
+	grads := make([]*dense.Matrix, L)
+	for l := L; l >= 1; l-- {
+		// Y^l = P^lᵀ G^l with the GEMM input cached from forward.
+		grads[l-1] = dense.MatMulTransA(ps[l], g)
+		if l == 1 {
+			break
+		}
+		if s.Variant == SAGEConv {
+			// dC = G^l (W^l)ᵀ splits into the aggregated and self paths:
+			// ∂L/∂H^{l-1} = Â·dP + dSelf.
+			dc := dense.MatMulTransB(g, s.Model.Weights[l-1])
+			fPrev := s.Model.Weights[l-1].Rows / 2
+			dp, dself := dc.SplitCols(fPrev)
+			g = s.A.SpMM(dp)
+			g.Add(dself)
+		} else {
+			// G^{l-1} = Â G^l (W^l)ᵀ ⊙ σ′(Z^{l-1})
+			ag := s.A.SpMM(g)
+			g = dense.MatMulTransB(ag, s.Model.Weights[l-1])
+		}
+		g.Hadamard(zs[l-1].ReLUDeriv())
+	}
+	return loss, acc, grads
+}
+
+// Epoch runs one full-batch training step and returns loss and train
+// accuracy measured before the update.
+func (s *Serial) Epoch() (float64, float64) {
+	loss, acc, grads := s.Gradients()
+	if s.Opt == nil {
+		s.Opt = &opt.SGD{LR: s.LR}
+	}
+	s.Opt.Step(s.Model.Weights, grads)
+	return loss, acc
+}
+
+// Train runs the given number of epochs.
+func (s *Serial) TrainEpochs(epochs int) []EpochResult {
+	out := make([]EpochResult, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		loss, acc := s.Epoch()
+		out = append(out, EpochResult{Epoch: e, Loss: loss, TrainAcc: acc})
+	}
+	return out
+}
+
+// Accuracy evaluates classification accuracy on an arbitrary vertex set.
+func (s *Serial) Accuracy(mask []int) float64 {
+	return dense.Accuracy(s.Predict(), s.Labels, mask)
+}

@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(DefaultRMAT(8, 8, 1))
+	if g.NumVertices() != 256 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if !g.IsSymmetric() {
+		t.Fatal("RMAT output must be symmetric")
+	}
+	st := g.Degrees()
+	if st.CV < 0.5 {
+		t.Fatalf("RMAT should be irregular, CV=%v", st.CV)
+	}
+	// determinism
+	g2 := RMAT(DefaultRMAT(8, 8, 1))
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("RMAT not deterministic for fixed seed")
+	}
+	g3 := RMAT(DefaultRMAT(8, 8, 2))
+	if g3.NumEdges() == g.NumEdges() && g3.Adj.At(0, 1) == g.Adj.At(0, 1) && g3.Adj.NNZ() == g.Adj.NNZ() {
+		// weak check; different seeds very likely differ in nnz
+		same := true
+		for i := range g.Adj.ColIdx {
+			if i >= len(g3.Adj.ColIdx) || g3.Adj.ColIdx[i] != g.Adj.ColIdx[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRMATBadProbsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMAT(RMATConfig{ScaleLog2: 4, EdgeFactor: 2, A: 0.5, B: 0.1, C: 0.1, D: 0.1})
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(500, 10, 3)
+	if !g.IsSymmetric() {
+		t.Fatal("ER must be symmetric")
+	}
+	st := g.Degrees()
+	if st.Mean < 5 || st.Mean > 15 {
+		t.Fatalf("mean degree %v far from requested 10", st.Mean)
+	}
+	if st.CV > 0.5 {
+		t.Fatalf("ER should be fairly regular, CV=%v", st.CV)
+	}
+}
+
+func TestBandedIsRegularAndLocal(t *testing.T) {
+	g := Banded(1000, 16, 50, 4)
+	if !g.IsSymmetric() {
+		t.Fatal("banded must be symmetric")
+	}
+	st := g.Degrees()
+	if st.CV > 0.6 {
+		t.Fatalf("banded should be regular, CV=%v", st.CV)
+	}
+	// locality: every edge within the window
+	for _, c := range g.Adj.ToCoords() {
+		d := c.Row - c.Col
+		if d < 0 {
+			d = -d
+		}
+		if d > 50 {
+			t.Fatalf("edge (%d,%d) outside band", c.Row, c.Col)
+		}
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	g, comm := SBM(400, 4, 12, 2, 5)
+	if len(comm) != 400 {
+		t.Fatal("community labels missing")
+	}
+	// count intra vs inter edges: intra should dominate
+	intra, inter := 0, 0
+	for _, c := range g.Adj.ToCoords() {
+		if comm[c.Row] == comm[c.Col] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 2*inter {
+		t.Fatalf("SBM communities too weak: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestFeaturesCarrySignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	labels := []int{0, 0, 1, 1}
+	x := Features(rng, labels, 2, 16, 0.01)
+	// same-label rows must be closer than different-label rows
+	dist := func(i, j int) float64 {
+		s := 0.0
+		for k := 0; k < 16; k++ {
+			d := x.At(i, k) - x.At(j, k)
+			s += d * d
+		}
+		return s
+	}
+	if dist(0, 1) >= dist(0, 2) {
+		t.Fatal("same-class features should be closer")
+	}
+}
+
+func TestSplitsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train, val, test := Splits(rng, 100, 0.6, 0.2)
+	if len(train) != 60 || len(val) != 20 || len(test) != 20 {
+		t.Fatalf("split sizes %d/%d/%d", len(train), len(val), len(test))
+	}
+	seen := map[int]bool{}
+	for _, s := range [][]int{train, val, test} {
+		for _, i := range s {
+			if seen[i] {
+				t.Fatal("index appears twice across splits")
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatal("splits do not cover all vertices")
+	}
+}
+
+func TestLoadPresets(t *testing.T) {
+	for _, p := range AllPresets {
+		d, err := Load(p, 42, 64) // heavily scaled down for test speed
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if d.G.NumVertices() == 0 || d.G.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", p)
+		}
+		if !d.G.IsSymmetric() {
+			t.Fatalf("%s: not symmetric", p)
+		}
+		if d.Features.Rows != d.G.NumVertices() {
+			t.Fatalf("%s: features misaligned", p)
+		}
+		if len(d.Labels) != d.G.NumVertices() {
+			t.Fatalf("%s: labels misaligned", p)
+		}
+		for _, l := range d.Labels {
+			if l < 0 || l >= d.Classes {
+				t.Fatalf("%s: label %d out of range", p, l)
+			}
+		}
+		if len(d.Train) == 0 || len(d.Test) == 0 {
+			t.Fatalf("%s: empty splits", p)
+		}
+	}
+}
+
+func TestLoadUnknownPreset(t *testing.T) {
+	if _, err := Load(Preset("nope"), 1, 1); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a := MustLoad(AmazonSim, 7, 64)
+	b := MustLoad(AmazonSim, 7, 64)
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("Load not deterministic")
+	}
+	if a.Features.MaxAbsDiff(b.Features) != 0 {
+		t.Fatal("features not deterministic")
+	}
+}
+
+func TestPresetStructuralContrast(t *testing.T) {
+	// The core premise of the reproduction: the Amazon-like graph is
+	// irregular (high degree CV), the Protein-like graph is regular.
+	am := MustLoad(AmazonSim, 9, 64)
+	pr := MustLoad(ProteinSim, 9, 64)
+	if am.G.Degrees().CV <= pr.G.Degrees().CV {
+		t.Fatalf("expected CV(amazon)=%v > CV(protein)=%v",
+			am.G.Degrees().CV, pr.G.Degrees().CV)
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	edges := make([][2]int, 0, 2*(n-1))
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1}, [2]int{i + 1, i})
+	}
+	return FromEdges(n, edges)
+}
+
+func TestFromEdgesDropsSelfLoopsAndDupes(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {0, 1}, {1, 1}, {2, 0}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges=%d want 2", g.NumEdges())
+	}
+	if g.Adj.At(0, 1) != 1 {
+		t.Fatal("duplicate edge weight not clamped to 1")
+	}
+	if g.Adj.At(1, 1) != 0 {
+		t.Fatal("self loop kept")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {2, 3}, {3, 2}})
+	s := g.Symmetrize()
+	if !s.IsSymmetric() {
+		t.Fatal("not symmetric after Symmetrize")
+	}
+	if s.NumEdges() != 4 {
+		t.Fatalf("edges=%d want 4", s.NumEdges())
+	}
+	if s.Adj.At(1, 0) != 1 {
+		t.Fatal("reverse edge missing")
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {0, 2}})
+	if g.Degree(0) != 2 || g.Degree(1) != 0 {
+		t.Fatal("degree wrong")
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors %v", nb)
+	}
+}
+
+func TestNormalizedAdjacencyRowSums(t *testing.T) {
+	// For Â = D̃^{-1/2}(A+I)D̃^{-1/2}, the row sums of D̃^{-1/2}-scaled rows
+	// are not 1, but Â must be symmetric and have self loops, and the
+	// spectral radius is ≤ 1. We check symmetry, diagonal presence, and
+	// that applying Â to the all-ones vector keeps entries in (0, 1].
+	g := pathGraph(5).Symmetrize()
+	a := g.NormalizedAdjacency()
+	if !a.IsSymmetric(1e-12) {
+		t.Fatal("normalized adjacency must be symmetric for symmetric input")
+	}
+	for i := 0; i < 5; i++ {
+		if a.At(i, i) == 0 {
+			t.Fatal("missing self loop")
+		}
+	}
+	for _, v := range a.Val {
+		if v <= 0 || v > 1 {
+			t.Fatalf("entry %v out of (0,1]", v)
+		}
+	}
+	// Known value: two degree-2 neighbors (middle of path) give 1/3.
+	if math.Abs(a.At(1, 2)-1.0/3.0) > 1e-12 {
+		t.Fatalf("a(1,2)=%v want 1/3", a.At(1, 2))
+	}
+}
+
+func TestNormalizedAdjacencyIsolatedVertex(t *testing.T) {
+	g := FromEdges(2, nil) // two isolated vertices
+	a := g.NormalizedAdjacency()
+	// With self loop, degree 1 → Â(i,i) = 1.
+	if a.At(0, 0) != 1 || a.At(1, 1) != 1 {
+		t.Fatal("isolated vertex normalization wrong")
+	}
+}
+
+func TestBFSOrderAndReachability(t *testing.T) {
+	g := pathGraph(6)
+	order := g.BFS(0)
+	if len(order) != 6 || order[0] != 0 || order[5] != 5 {
+		t.Fatalf("BFS order %v", order)
+	}
+	// disconnected piece unreachable
+	g2 := FromEdges(4, [][2]int{{0, 1}, {1, 0}})
+	if len(g2.BFS(0)) != 2 {
+		t.Fatal("BFS should not cross components")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}})
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components=%d want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("component ids %v", comp)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {0, 2}, {1, 2}})
+	st := g.Degrees()
+	if st.Min != 0 || st.Max != 2 || math.Abs(st.Mean-1) > 1e-12 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.CV <= 0 {
+		t.Fatal("CV should be positive for uneven degrees")
+	}
+	reg := pathGraph(3) // degrees 1,2,1... actually path of 3: 1,2,1
+	_ = reg
+}
+
+func TestPermutePreservesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		var edges [][2]int
+		for i := 0; i < 20; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		g := FromEdges(n, edges).Symmetrize()
+		perm := rng.Perm(n)
+		p := g.Permute(perm)
+		if p.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, c := range g.Adj.ToCoords() {
+			if p.Adj.At(perm[c.Row], perm[c.Col]) == 0 {
+				return false
+			}
+		}
+		return p.IsSymmetric()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package graphio reads and writes the on-disk formats the paper's
+// datasets ship in: whitespace-separated edge lists (SNAP style, used for
+// Reddit/Amazon exports) and MatrixMarket coordinate files (used for the
+// HipMCL Protein matrix), plus a simple text format for feature/label
+// bundles so generated datasets can be saved and reloaded.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sagnn/internal/dense"
+	"sagnn/internal/graph"
+	"sagnn/internal/sparse"
+)
+
+// ReadEdgeList parses a whitespace-separated "u v" edge list. Lines
+// starting with '#' or '%' are comments. Vertex count is inferred as
+// max id + 1 unless n > 0 is given.
+func ReadEdgeList(r io.Reader, n int) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var edges [][2]int
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graphio: line %d: want 'u v', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graphio: line %d: negative vertex id", line)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = maxID + 1
+	} else if maxID >= n {
+		return nil, fmt.Errorf("graphio: vertex id %d outside declared n=%d", maxID, n)
+	}
+	return graph.FromEdges(n, edges), nil
+}
+
+// WriteEdgeList emits one "u v" line per stored edge.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			fmt.Fprintf(bw, "%d %d\n", v, u)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into a CSR matrix.
+// Supports "general" and "symmetric" pattern/real matrices; 1-based indices
+// per the format. Symmetric entries are mirrored.
+func ReadMatrixMarket(r io.Reader) (*sparse.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graphio: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graphio: unsupported MatrixMarket header %q", sc.Text())
+	}
+	pattern := header[3] == "pattern"
+	symmetric := len(header) >= 5 && header[4] == "symmetric"
+
+	// skip comments, read size line
+	var rows, cols, nnz int
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(text, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("graphio: bad size line %q: %v", text, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("graphio: bad dimensions %dx%d", rows, cols)
+	}
+	coords := make([]sparse.Coord, 0, nnz)
+	read := 0
+	for sc.Scan() && read < nnz {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graphio: bad entry %q", text)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		val := 1.0
+		if !pattern {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graphio: missing value in %q", text)
+			}
+			if val, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, err
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("graphio: entry (%d,%d) outside %dx%d", i, j, rows, cols)
+		}
+		coords = append(coords, sparse.Coord{Row: i - 1, Col: j - 1, Val: val})
+		if symmetric && i != j {
+			coords = append(coords, sparse.Coord{Row: j - 1, Col: i - 1, Val: val})
+		}
+		read++
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("graphio: expected %d entries, found %d", nnz, read)
+	}
+	return sparse.NewCSR(rows, cols, coords), nil
+}
+
+// WriteMatrixMarket emits a general real coordinate MatrixMarket file.
+func WriteMatrixMarket(w io.Writer, m *sparse.CSR) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintf(bw, "%d %d %d\n", m.NumRows, m.NumCols, m.NNZ())
+	for _, c := range m.ToCoords() {
+		fmt.Fprintf(bw, "%d %d %.17g\n", c.Row+1, c.Col+1, c.Val)
+	}
+	return bw.Flush()
+}
+
+// WriteFeatures emits a dense matrix as "rows cols" then one row per line.
+func WriteFeatures(w io.Writer, m *dense.Matrix) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%.17g", v)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadFeatures parses the WriteFeatures format.
+func ReadFeatures(r io.Reader) (*dense.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows, cols int
+	if _, err := fmt.Fscan(br, &rows, &cols); err != nil {
+		return nil, fmt.Errorf("graphio: bad feature header: %v", err)
+	}
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("graphio: bad feature shape %dx%d", rows, cols)
+	}
+	m := dense.New(rows, cols)
+	for i := range m.Data {
+		if _, err := fmt.Fscan(br, &m.Data[i]); err != nil {
+			return nil, fmt.Errorf("graphio: feature element %d: %v", i, err)
+		}
+	}
+	return m, nil
+}
+
+// WriteLabels emits one integer label per line.
+func WriteLabels(w io.Writer, labels []int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(labels))
+	for _, l := range labels {
+		fmt.Fprintf(bw, "%d\n", l)
+	}
+	return bw.Flush()
+}
+
+// ReadLabels parses the WriteLabels format.
+func ReadLabels(r io.Reader) ([]int, error) {
+	br := bufio.NewReader(r)
+	var n int
+	if _, err := fmt.Fscan(br, &n); err != nil {
+		return nil, fmt.Errorf("graphio: bad label header: %v", err)
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		if _, err := fmt.Fscan(br, &labels[i]); err != nil {
+			return nil, fmt.Errorf("graphio: label %d: %v", i, err)
+		}
+	}
+	return labels, nil
+}
+
+// LoadEdgeListFile opens and parses an edge-list file.
+func LoadEdgeListFile(path string, n int) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f, n)
+}
+
+// SaveEdgeListFile writes a graph to an edge-list file.
+func SaveEdgeListFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteEdgeList(f, g)
+}

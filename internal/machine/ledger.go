@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ledger accumulates modeled per-rank, per-phase seconds during a simulated
+// run. Phases correspond to the paper's breakdown categories ("bcast",
+// "alltoall", "allreduce", "local"). The epoch time of a bulk-synchronous
+// run is the sum over phases of the slowest rank in that phase, because
+// every collective is a synchronization point.
+type Ledger struct {
+	mu     sync.Mutex
+	p      int
+	phases map[string][]float64
+}
+
+// NewLedger creates a ledger for p ranks.
+func NewLedger(p int) *Ledger {
+	return &Ledger{p: p, phases: make(map[string][]float64)}
+}
+
+// Ranks returns the number of ranks the ledger tracks.
+func (l *Ledger) Ranks() int { return l.p }
+
+// Add credits sec modeled seconds to (rank, phase).
+func (l *Ledger) Add(rank int, phase string, sec float64) {
+	if rank < 0 || rank >= l.p {
+		panic(fmt.Sprintf("machine: ledger rank %d of %d", rank, l.p))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	row, ok := l.phases[phase]
+	if !ok {
+		row = make([]float64, l.p)
+		l.phases[phase] = row
+	}
+	row[rank] += sec
+}
+
+// Phases returns the phase names in sorted order.
+func (l *Ledger) Phases() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.phases))
+	for k := range l.phases {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PhaseMax returns the slowest rank's accumulated seconds in the phase.
+func (l *Ledger) PhaseMax(phase string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	maxv := 0.0
+	for _, v := range l.phases[phase] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	return maxv
+}
+
+// PhaseMean returns the mean over ranks of accumulated seconds in the phase.
+func (l *Ledger) PhaseMean(phase string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	row := l.phases[phase]
+	if len(row) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range row {
+		s += v
+	}
+	return s / float64(len(row))
+}
+
+// RankTotal returns one rank's total across phases.
+func (l *Ledger) RankTotal(rank int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := 0.0
+	for _, row := range l.phases {
+		s += row[rank]
+	}
+	return s
+}
+
+// Total returns the modeled bulk-synchronous makespan: Σ over phases of the
+// per-phase maximum.
+func (l *Ledger) Total() float64 {
+	s := 0.0
+	for _, ph := range l.Phases() {
+		s += l.PhaseMax(ph)
+	}
+	return s
+}
+
+// Breakdown returns phase → per-phase max seconds.
+func (l *Ledger) Breakdown() map[string]float64 {
+	out := make(map[string]float64)
+	for _, ph := range l.Phases() {
+		out[ph] = l.PhaseMax(ph)
+	}
+	return out
+}
+
+// Reset clears all accumulated time.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.phases = make(map[string][]float64)
+}
+
+// Scale multiplies every entry by s; used to convert an accumulated
+// multi-epoch run into per-epoch figures.
+func (l *Ledger) Scale(s float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, row := range l.phases {
+		for i := range row {
+			row[i] *= s
+		}
+	}
+}
+
+// String renders the breakdown for logs.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	for _, ph := range l.Phases() {
+		fmt.Fprintf(&b, "%-10s %.6fs\n", ph, l.PhaseMax(ph))
+	}
+	fmt.Fprintf(&b, "%-10s %.6fs", "total", l.Total())
+	return b.String()
+}

@@ -1,0 +1,188 @@
+// Package minibatch implements neighbor-sampled mini-batch GNN training in
+// the style of GraphSAGE (Hamilton et al. 2017) — the training mode the
+// paper's introduction contrasts with full-batch training. It exists as a
+// baseline so the repository can demonstrate the tradeoff the paper
+// describes: sampling avoids the full-graph SpMM but suffers irregular
+// gather-heavy memory access and stochastic-gradient noise, whereas
+// full-batch training (the paper's subject) turns the epoch into a few
+// large SpMMs whose communication can then be optimized.
+package minibatch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sagnn/internal/dense"
+	"sagnn/internal/gcn"
+	"sagnn/internal/graph"
+	"sagnn/internal/opt"
+	"sagnn/internal/sparse"
+)
+
+// Trainer trains a GCN with L-hop neighbor sampling.
+type Trainer struct {
+	G      *graph.Graph
+	X      *dense.Matrix
+	Labels []int
+	Train  []int
+	Model  *gcn.Model
+	// Fanout is the number of sampled neighbors per vertex per layer; the
+	// receptive field is Fanout^L vertices per batch element in the worst
+	// case — the neighborhood-explosion problem the paper cites.
+	Fanout    int
+	BatchSize int
+	Opt       opt.Optimizer
+	rng       *rand.Rand
+}
+
+// New validates shapes and seeds the sampler.
+func New(g *graph.Graph, x *dense.Matrix, labels, train []int, model *gcn.Model,
+	fanout, batchSize int, o opt.Optimizer, seed int64) *Trainer {
+	if g.NumVertices() != x.Rows || len(labels) != x.Rows {
+		panic(fmt.Sprintf("minibatch: graph %d vertices, X %d rows, %d labels",
+			g.NumVertices(), x.Rows, len(labels)))
+	}
+	if fanout < 1 || batchSize < 1 {
+		panic(fmt.Sprintf("minibatch: fanout %d batch %d", fanout, batchSize))
+	}
+	return &Trainer{
+		G: g, X: x, Labels: labels, Train: train, Model: model,
+		Fanout: fanout, BatchSize: batchSize, Opt: o,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// block is one layer's sampled bipartite aggregation: rows are the layer's
+// output vertices, columns index the previous layer's vertex list.
+type block struct {
+	adj *sparse.CSR
+	// srcs lists the global vertex ids of the columns.
+	srcs []int
+}
+
+// sampleBlocks draws the layered computation graph for a batch: layer L
+// outputs the batch vertices; each previous layer adds sampled neighbors.
+// Aggregation weights are mean over sampled neighbors plus the self loop,
+// a sampled analogue of the GCN normalization.
+func (t *Trainer) sampleBlocks(batch []int, layers int) []block {
+	blocks := make([]block, layers)
+	outputs := batch
+	for l := layers - 1; l >= 0; l-- {
+		srcIndex := make(map[int]int, len(outputs)*(t.Fanout+1))
+		var srcs []int
+		intern := func(v int) int {
+			if i, ok := srcIndex[v]; ok {
+				return i
+			}
+			i := len(srcs)
+			srcIndex[v] = i
+			srcs = append(srcs, v)
+			return i
+		}
+		var coords []sparse.Coord
+		for row, v := range outputs {
+			nbrs := t.G.Neighbors(v)
+			sampled := make([]int, 0, t.Fanout+1)
+			sampled = append(sampled, v) // self loop
+			if len(nbrs) <= t.Fanout {
+				sampled = append(sampled, nbrs...)
+			} else {
+				for k := 0; k < t.Fanout; k++ {
+					sampled = append(sampled, nbrs[t.rng.Intn(len(nbrs))])
+				}
+			}
+			w := 1.0 / float64(len(sampled))
+			for _, u := range sampled {
+				coords = append(coords, sparse.Coord{Row: row, Col: intern(u), Val: w})
+			}
+		}
+		blocks[l] = block{
+			adj:  sparse.NewCSR(len(outputs), len(srcs), coords),
+			srcs: srcs,
+		}
+		outputs = srcs
+	}
+	return blocks
+}
+
+// Step runs one mini-batch: sample, forward, backward, update. Returns the
+// batch loss.
+func (t *Trainer) Step(batch []int) float64 {
+	L := t.Model.Layers()
+	blocks := t.sampleBlocks(batch, L)
+
+	// Forward through the sampled blocks.
+	hs := make([]*dense.Matrix, L+1)
+	zs := make([]*dense.Matrix, L+1)
+	ps := make([]*dense.Matrix, L+1)
+	hs[0] = t.X.GatherRows(blocks[0].srcs)
+	for l := 1; l <= L; l++ {
+		ps[l] = blocks[l-1].adj.SpMM(hs[l-1])
+		zs[l] = dense.MatMul(ps[l], t.Model.Weights[l-1])
+		if l < L {
+			h := zs[l].Clone()
+			h.ReLU()
+			hs[l] = h
+		} else {
+			hs[l] = zs[l]
+		}
+	}
+
+	probs := hs[L].Clone()
+	dense.SoftmaxRows(probs)
+	batchLabels := make([]int, len(batch))
+	for i, v := range batch {
+		batchLabels[i] = t.Labels[v]
+	}
+	all := make([]int, len(batch))
+	for i := range all {
+		all[i] = i
+	}
+	loss, g := dense.CrossEntropyLoss(probs, batchLabels, all)
+
+	// Backward through the chain of rectangular blocks.
+	grads := make([]*dense.Matrix, L)
+	for l := L; l >= 1; l-- {
+		grads[l-1] = dense.MatMulTransA(ps[l], g)
+		if l == 1 {
+			break
+		}
+		upstream := dense.MatMulTransB(g, t.Model.Weights[l-1])
+		gPrev := blocks[l-1].adj.Transpose().SpMM(upstream)
+		gPrev.Hadamard(zs[l-1].ReLUDeriv())
+		g = gPrev
+	}
+	if t.Opt == nil {
+		t.Opt = &opt.SGD{LR: 0.05}
+	}
+	t.Opt.Step(t.Model.Weights, grads)
+	return loss
+}
+
+// Epoch shuffles the training set and runs it in batches, returning the
+// mean batch loss.
+func (t *Trainer) Epoch() float64 {
+	order := append([]int(nil), t.Train...)
+	t.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	total, batches := 0.0, 0
+	for lo := 0; lo < len(order); lo += t.BatchSize {
+		hi := lo + t.BatchSize
+		if hi > len(order) {
+			hi = len(order)
+		}
+		total += t.Step(order[lo:hi])
+		batches++
+	}
+	if batches == 0 {
+		return math.NaN()
+	}
+	return total / float64(batches)
+}
+
+// Accuracy evaluates the current model full-batch (no sampling) on a
+// vertex set, the standard evaluation protocol for sampled training.
+func (t *Trainer) Accuracy(aHat *sparse.CSR, mask []int) float64 {
+	s := gcn.NewSerial(aHat, t.X, t.Labels, t.Train, t.Model, 0)
+	return dense.Accuracy(s.Predict(), t.Labels, mask)
+}

@@ -1,0 +1,139 @@
+package minibatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sagnn/internal/gcn"
+	"sagnn/internal/gen"
+	"sagnn/internal/opt"
+)
+
+func TestSampleBlocksShape(t *testing.T) {
+	g, comms := gen.SBM(100, 4, 8, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	x := gen.Features(rng, comms, 4, 8, 0.3)
+	model := gcn.NewModel(3, gcn.LayerDims(8, 8, 4, 2))
+	tr := New(g, x, comms, []int{0, 1, 2}, model, 3, 2, nil, 4)
+
+	batch := []int{5, 10, 15}
+	blocks := tr.sampleBlocks(batch, 2)
+	if len(blocks) != 2 {
+		t.Fatalf("%d blocks", len(blocks))
+	}
+	// top layer outputs the batch
+	if blocks[1].adj.NumRows != 3 {
+		t.Fatalf("top block rows %d", blocks[1].adj.NumRows)
+	}
+	// every block's columns match the next srcs list, rows the outputs
+	if blocks[1].adj.NumCols != len(blocks[1].srcs) {
+		t.Fatal("cols != srcs")
+	}
+	if blocks[0].adj.NumRows != len(blocks[1].srcs) {
+		t.Fatal("layer chaining broken")
+	}
+	// aggregation rows are convex combinations: row sums = 1
+	for r := 0; r < blocks[1].adj.NumRows; r++ {
+		sum := 0.0
+		for p := blocks[1].adj.RowPtr[r]; p < blocks[1].adj.RowPtr[r+1]; p++ {
+			sum += blocks[1].adj.Val[p]
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+	// fanout bound: ≤ fanout+1 entries per row
+	for r := 0; r < blocks[1].adj.NumRows; r++ {
+		if blocks[1].adj.RowNNZ(r) > 4 {
+			t.Fatalf("row %d has %d samples, fanout+1=4", r, blocks[1].adj.RowNNZ(r))
+		}
+	}
+}
+
+func TestMiniBatchLearnsSBM(t *testing.T) {
+	g, comms := gen.SBM(256, 4, 10, 2, 5)
+	rng := rand.New(rand.NewSource(6))
+	x := gen.Features(rng, comms, 4, 16, 0.3)
+	train := make([]int, 0, 128)
+	for v := 0; v < 256; v += 2 {
+		train = append(train, v)
+	}
+	model := gcn.NewModel(7, gcn.LayerDims(16, 16, 4, 2))
+	tr := New(g, x, comms, train, model, 5, 32, opt.NewAdam(0.01), 8)
+
+	first := tr.Epoch()
+	var last float64
+	for e := 0; e < 30; e++ {
+		last = tr.Epoch()
+	}
+	if last >= first {
+		t.Fatalf("minibatch loss did not decrease: %v -> %v", first, last)
+	}
+
+	test := make([]int, 0, 128)
+	for v := 1; v < 256; v += 2 {
+		test = append(test, v)
+	}
+	aHat := g.NormalizedAdjacency()
+	if acc := tr.Accuracy(aHat, test); acc < 0.7 {
+		t.Fatalf("minibatch test accuracy %v too low", acc)
+	}
+}
+
+func TestMiniBatchVsFullBatch(t *testing.T) {
+	// The paper's motivation: both modes reach a working model; full-batch
+	// does so with deterministic full-graph SpMM. Verify both train.
+	g, comms := gen.SBM(200, 4, 10, 2, 9)
+	rng := rand.New(rand.NewSource(10))
+	x := gen.Features(rng, comms, 4, 12, 0.3)
+	train := make([]int, 0, 100)
+	for v := 0; v < 200; v += 2 {
+		train = append(train, v)
+	}
+	aHat := g.NormalizedAdjacency()
+	dims := gcn.LayerDims(12, 16, 4, 2)
+
+	full := gcn.NewSerial(aHat, x, comms, train, gcn.NewModel(11, dims), 0)
+	full.Opt = opt.NewAdam(0.01)
+	var fullLoss float64
+	for e := 0; e < 40; e++ {
+		fullLoss, _ = full.Epoch()
+	}
+
+	mb := New(g, x, comms, train, gcn.NewModel(11, dims), 5, 25, opt.NewAdam(0.01), 12)
+	var mbLoss float64
+	for e := 0; e < 40; e++ {
+		mbLoss = mb.Epoch()
+	}
+	if math.IsNaN(fullLoss) || math.IsNaN(mbLoss) {
+		t.Fatal("NaN loss")
+	}
+	if fullLoss > 1.2 || mbLoss > 1.2 {
+		t.Fatalf("training failed: full %v, minibatch %v", fullLoss, mbLoss)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	g, comms := gen.SBM(20, 2, 4, 1, 1)
+	rng := rand.New(rand.NewSource(1))
+	x := gen.Features(rng, comms, 2, 4, 0.3)
+	model := gcn.NewModel(1, gcn.LayerDims(4, 4, 2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero fanout")
+		}
+	}()
+	New(g, x, comms, nil, model, 0, 8, nil, 1)
+}
+
+func TestEmptyEpochNaN(t *testing.T) {
+	g, comms := gen.SBM(20, 2, 4, 1, 2)
+	rng := rand.New(rand.NewSource(1))
+	x := gen.Features(rng, comms, 2, 4, 0.3)
+	model := gcn.NewModel(1, gcn.LayerDims(4, 4, 2, 2))
+	tr := New(g, x, comms, nil, model, 3, 8, nil, 1)
+	if !math.IsNaN(tr.Epoch()) {
+		t.Fatal("empty train set should give NaN epoch loss")
+	}
+}

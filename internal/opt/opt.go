@@ -1,0 +1,120 @@
+// Package opt provides the optimizers used for GCN training: plain SGD
+// (the paper's setting measures per-epoch time, where the optimizer is a
+// lower-order term), SGD with momentum, and Adam (the optimizer of the
+// original Kipf & Welling GCN). All optimizers are deterministic functions
+// of the gradient stream, so distributed weight replicas that apply the
+// same all-reduced gradients stay bit-identical.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"sagnn/internal/dense"
+)
+
+// Optimizer updates model weights from gradients, in place.
+type Optimizer interface {
+	Name() string
+	// Step applies one update. weights and grads are parallel slices, one
+	// matrix per layer; shapes must match across calls.
+	Step(weights, grads []*dense.Matrix)
+}
+
+// SGD is plain stochastic gradient descent: W ← W − lr·G.
+type SGD struct {
+	LR float64
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(weights, grads []*dense.Matrix) {
+	mustMatch(weights, grads)
+	for l, w := range weights {
+		w.AXPY(-s.LR, grads[l])
+	}
+}
+
+// Momentum is SGD with classical momentum: V ← μV + G; W ← W − lr·V.
+type Momentum struct {
+	LR, Mu float64
+	vel    []*dense.Matrix
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(weights, grads []*dense.Matrix) {
+	mustMatch(weights, grads)
+	if m.vel == nil {
+		m.vel = zerosLike(weights)
+	}
+	for l, w := range weights {
+		v := m.vel[l]
+		v.Scale(m.Mu)
+		v.Add(grads[l])
+		w.AXPY(-m.LR, v)
+	}
+}
+
+// Adam is the Kingma–Ba optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	m, v                  []*dense.Matrix
+	t                     int
+}
+
+// NewAdam returns Adam with the standard defaults (β1=0.9, β2=0.999,
+// ε=1e-8) at the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(weights, grads []*dense.Matrix) {
+	mustMatch(weights, grads)
+	if a.m == nil {
+		a.m = zerosLike(weights)
+		a.v = zerosLike(weights)
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for l, w := range weights {
+		g := grads[l]
+		m, v := a.m[l], a.v[l]
+		for i, gi := range g.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			w.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+func zerosLike(ws []*dense.Matrix) []*dense.Matrix {
+	out := make([]*dense.Matrix, len(ws))
+	for i, w := range ws {
+		out[i] = dense.New(w.Rows, w.Cols)
+	}
+	return out
+}
+
+func mustMatch(weights, grads []*dense.Matrix) {
+	if len(weights) != len(grads) {
+		panic(fmt.Sprintf("opt: %d weights vs %d grads", len(weights), len(grads)))
+	}
+	for l := range weights {
+		if weights[l].Rows != grads[l].Rows || weights[l].Cols != grads[l].Cols {
+			panic(fmt.Sprintf("opt: layer %d shape mismatch %dx%d vs %dx%d",
+				l, weights[l].Rows, weights[l].Cols, grads[l].Rows, grads[l].Cols))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sagnn/internal/dense"
+)
+
+// quadratic is a simple convex test problem: minimise Σ (w_i − target_i)².
+type quadratic struct {
+	target *dense.Matrix
+}
+
+func (q quadratic) loss(w *dense.Matrix) float64 {
+	s := 0.0
+	for i, v := range w.Data {
+		d := v - q.target.Data[i]
+		s += d * d
+	}
+	return s
+}
+
+func (q quadratic) grad(w *dense.Matrix) *dense.Matrix {
+	g := dense.New(w.Rows, w.Cols)
+	for i, v := range w.Data {
+		g.Data[i] = 2 * (v - q.target.Data[i])
+	}
+	return g
+}
+
+func optimize(t *testing.T, o Optimizer, steps int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	q := quadratic{target: dense.NewRandom(rng, 4, 3, 1.0)}
+	w := dense.NewRandom(rng, 4, 3, 1.0)
+	for s := 0; s < steps; s++ {
+		o.Step([]*dense.Matrix{w}, []*dense.Matrix{q.grad(w)})
+	}
+	return q.loss(w)
+}
+
+func TestSGDConverges(t *testing.T) {
+	if l := optimize(t, &SGD{LR: 0.1}, 100); l > 1e-8 {
+		t.Fatalf("SGD loss %g", l)
+	}
+}
+
+func TestMomentumConverges(t *testing.T) {
+	if l := optimize(t, &Momentum{LR: 0.05, Mu: 0.9}, 200); l > 1e-6 {
+		t.Fatalf("momentum loss %g", l)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	if l := optimize(t, NewAdam(0.1), 300); l > 1e-6 {
+		t.Fatalf("adam loss %g", l)
+	}
+}
+
+func TestAdamBeatsItsFirstStep(t *testing.T) {
+	// First Adam step size equals LR regardless of gradient scale (bias
+	// correction); verify the known property.
+	a := NewAdam(0.1)
+	w := dense.FromSlice(1, 1, []float64{0})
+	g := dense.FromSlice(1, 1, []float64{1000})
+	a.Step([]*dense.Matrix{w}, []*dense.Matrix{g})
+	if math.Abs(w.Data[0]+0.1) > 1e-6 {
+		t.Fatalf("first adam step %v, want ≈ -0.1", w.Data[0])
+	}
+}
+
+func TestOptimizersDeterministic(t *testing.T) {
+	for _, mk := range []func() Optimizer{
+		func() Optimizer { return &SGD{LR: 0.05} },
+		func() Optimizer { return &Momentum{LR: 0.05, Mu: 0.9} },
+		func() Optimizer { return NewAdam(0.05) },
+	} {
+		a := optimize(t, mk(), 50)
+		b := optimize(t, mk(), 50)
+		if a != b {
+			t.Fatal("optimizer not deterministic")
+		}
+	}
+}
+
+func TestStepShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&SGD{LR: 0.1}).Step(
+		[]*dense.Matrix{dense.New(2, 2)},
+		[]*dense.Matrix{dense.New(3, 2)},
+	)
+}
+
+func TestStepCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&SGD{LR: 0.1}).Step([]*dense.Matrix{dense.New(2, 2)}, nil)
+}
+
+func TestNames(t *testing.T) {
+	if (&SGD{}).Name() != "sgd" || (&Momentum{}).Name() != "momentum" || NewAdam(0.1).Name() != "adam" {
+		t.Fatal("names")
+	}
+}

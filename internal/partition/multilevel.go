@@ -1,0 +1,390 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"sagnn/internal/graph"
+)
+
+// wgraph is the weighted working graph of the multilevel pipeline: edge
+// weights accumulate merged multi-edges during coarsening, vertex weights
+// accumulate nonzeros so the balance constraint tracks SpMM work.
+type wgraph struct {
+	n    int
+	xadj []int   // len n+1
+	adj  []int   // neighbor ids
+	ewgt []int64 // edge weights, parallel to adj
+	vwgt []int64 // vertex weights, len n
+}
+
+func (w *wgraph) totalVWgt() int64 {
+	var t int64
+	for _, v := range w.vwgt {
+		t += v
+	}
+	return t
+}
+
+// fromGraph builds the finest-level working graph. Vertex weight is
+// degree+1, a proxy for the row nonzero count (including the self loop the
+// GCN normalization adds), i.e. SpMM work per vertex.
+func fromGraph(g *graph.Graph) *wgraph {
+	a := g.Adj
+	w := &wgraph{
+		n:    a.NumRows,
+		xadj: append([]int(nil), a.RowPtr...),
+		adj:  append([]int(nil), a.ColIdx...),
+		ewgt: make([]int64, a.NNZ()),
+		vwgt: make([]int64, a.NumRows),
+	}
+	for i := range w.ewgt {
+		w.ewgt[i] = 1
+	}
+	for v := 0; v < w.n; v++ {
+		w.vwgt[v] = int64(a.RowNNZ(v)) + 1
+	}
+	return w
+}
+
+// coarsen performs one heavy-edge-matching contraction. It returns the
+// coarse graph and cmap (fine vertex → coarse vertex).
+func coarsen(w *wgraph, rng *rand.Rand) (*wgraph, []int) {
+	match := make([]int, w.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(w.n)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := -1, int64(-1)
+		for p := w.xadj[v]; p < w.xadj[v+1]; p++ {
+			u := w.adj[p]
+			if u != v && match[u] < 0 && w.ewgt[p] > bestW {
+				best, bestW = u, w.ewgt[p]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	// Assign coarse ids deterministically in fine-vertex order so the
+	// result does not depend on map iteration.
+	cmap := make([]int, w.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	nc := 0
+	for v := 0; v < w.n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = nc
+		if m := match[v]; m != v && cmap[m] < 0 {
+			cmap[m] = nc
+		}
+		nc++
+	}
+	// Build the coarse graph by merging adjacency lists.
+	cw := &wgraph{n: nc, vwgt: make([]int64, nc)}
+	for v := 0; v < w.n; v++ {
+		cw.vwgt[cmap[v]] += w.vwgt[v]
+	}
+	// Accumulate coarse edges with a per-coarse-vertex scratch map keyed by
+	// coarse neighbor; rebuilt per row to bound memory.
+	cw.xadj = make([]int, nc+1)
+	type edgeAcc struct {
+		to int
+		w  int64
+	}
+	rows := make([][]edgeAcc, nc)
+	scratch := make(map[int]int64)
+	members := make([][]int, nc)
+	for v := 0; v < w.n; v++ {
+		members[cmap[v]] = append(members[cmap[v]], v)
+	}
+	for c := 0; c < nc; c++ {
+		clear(scratch)
+		for _, v := range members[c] {
+			for p := w.xadj[v]; p < w.xadj[v+1]; p++ {
+				cu := cmap[w.adj[p]]
+				if cu == c {
+					continue
+				}
+				scratch[cu] += w.ewgt[p]
+			}
+		}
+		row := make([]edgeAcc, 0, len(scratch))
+		for to, ew := range scratch {
+			row = append(row, edgeAcc{to: to, w: ew})
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i].to < row[j].to })
+		rows[c] = row
+	}
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	cw.adj = make([]int, 0, total)
+	cw.ewgt = make([]int64, 0, total)
+	for c := 0; c < nc; c++ {
+		for _, e := range rows[c] {
+			cw.adj = append(cw.adj, e.to)
+			cw.ewgt = append(cw.ewgt, e.w)
+		}
+		cw.xadj[c+1] = len(cw.adj)
+	}
+	return cw, cmap
+}
+
+// growInitial produces a k-way partition of the coarsest graph by greedy
+// BFS graph growing: each part grows from a seed until it reaches its
+// weight target, which keeps parts connected (crucial for banded/regular
+// graphs, where connected parts mean near-zero cut).
+func growInitial(w *wgraph, k int, rng *rand.Rand) []int {
+	parts := make([]int, w.n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	totalW := w.totalVWgt()
+	target := totalW / int64(k)
+	assigned := 0
+	for pt := 0; pt < k-1; pt++ {
+		// seed: first unassigned vertex from a random start
+		seed := -1
+		start := rng.Intn(w.n)
+		for off := 0; off < w.n; off++ {
+			v := (start + off) % w.n
+			if parts[v] < 0 {
+				seed = v
+				break
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		var partW int64
+		queue := []int{seed}
+		parts[seed] = pt
+		assigned++
+		partW += w.vwgt[seed]
+		for len(queue) > 0 && partW < target {
+			v := queue[0]
+			queue = queue[1:]
+			for p := w.xadj[v]; p < w.xadj[v+1]; p++ {
+				u := w.adj[p]
+				if parts[u] < 0 {
+					parts[u] = pt
+					assigned++
+					partW += w.vwgt[u]
+					queue = append(queue, u)
+					if partW >= target {
+						break
+					}
+				}
+			}
+		}
+		// If BFS exhausted a component before reaching target, restart from
+		// another unassigned seed for the same part.
+		for partW < target {
+			next := -1
+			for v := 0; v < w.n; v++ {
+				if parts[v] < 0 {
+					next = v
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+			parts[next] = pt
+			assigned++
+			partW += w.vwgt[next]
+			queue = append(queue[:0], next)
+			for len(queue) > 0 && partW < target {
+				v := queue[0]
+				queue = queue[1:]
+				for p := w.xadj[v]; p < w.xadj[v+1]; p++ {
+					u := w.adj[p]
+					if parts[u] < 0 {
+						parts[u] = pt
+						assigned++
+						partW += w.vwgt[u]
+						queue = append(queue, u)
+						if partW >= target {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	for v := 0; v < w.n; v++ {
+		if parts[v] < 0 {
+			parts[v] = k - 1
+		}
+	}
+	return parts
+}
+
+// buildPartCounts returns, for each vertex, a map part → summed edge weight
+// to that part, plus the per-part vertex-weight totals.
+func buildPartCounts(w *wgraph, parts []int, k int) ([]map[int]int64, []int64) {
+	cnt := make([]map[int]int64, w.n)
+	partW := make([]int64, k)
+	for v := 0; v < w.n; v++ {
+		partW[parts[v]] += w.vwgt[v]
+		m := make(map[int]int64, 4)
+		for p := w.xadj[v]; p < w.xadj[v+1]; p++ {
+			m[parts[w.adj[p]]] += w.ewgt[p]
+		}
+		cnt[v] = m
+	}
+	return cnt, partW
+}
+
+// refineEdgeCut runs greedy FM-style boundary passes: move a vertex to the
+// adjacent part with the largest positive edgecut gain, subject to the
+// balance ceiling maxW. Returns the number of moves made.
+func refineEdgeCut(w *wgraph, parts []int, k int, maxW int64, passes int, rng *rand.Rand) int {
+	cnt, partW := buildPartCounts(w, parts, k)
+	totalMoves := 0
+	order := make([]int, w.n)
+	for i := range order {
+		order[i] = i
+	}
+	for pass := 0; pass < passes; pass++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		moves := 0
+		for _, v := range order {
+			p := parts[v]
+			internal := cnt[v][p]
+			bestQ, bestGain := -1, int64(0)
+			for q, wq := range cnt[v] {
+				if q == p {
+					continue
+				}
+				if partW[q]+w.vwgt[v] > maxW {
+					continue
+				}
+				gain := wq - internal
+				if gain > bestGain || (gain == bestGain && bestQ >= 0 && q < bestQ) {
+					bestGain, bestQ = gain, q
+				}
+			}
+			if bestQ < 0 {
+				continue
+			}
+			moveVertex(w, parts, cnt, partW, v, p, bestQ)
+			moves++
+		}
+		totalMoves += moves
+		if moves == 0 {
+			break
+		}
+	}
+	return totalMoves
+}
+
+// moveVertex reassigns v from p to q, updating neighbor part counts and
+// part weights incrementally.
+func moveVertex(w *wgraph, parts []int, cnt []map[int]int64, partW []int64, v, p, q int) {
+	parts[v] = q
+	partW[p] -= w.vwgt[v]
+	partW[q] += w.vwgt[v]
+	for e := w.xadj[v]; e < w.xadj[v+1]; e++ {
+		u := w.adj[e]
+		m := cnt[u]
+		m[p] -= w.ewgt[e]
+		if m[p] == 0 {
+			delete(m, p)
+		}
+		m[q] += w.ewgt[e]
+	}
+}
+
+// MetisLike is a multilevel k-way partitioner minimizing total edgecut
+// under a vertex-weight balance constraint — the same objective family as
+// METIS, and like METIS it ignores communication load balance.
+type MetisLike struct {
+	Seed int64
+	// Epsilon is the allowed balance slack: part weight ≤ (1+Epsilon)·avg.
+	// Zero means the 0.05 default.
+	Epsilon float64
+	// Passes is the number of refinement sweeps per level (default 4).
+	Passes int
+}
+
+// Name implements Partitioner.
+func (m MetisLike) Name() string { return "metis" }
+
+// Partition implements Partitioner.
+func (m MetisLike) Partition(g *graph.Graph, k int) *Partition {
+	parts := m.partitionInternal(g, k)
+	return &Partition{K: k, Parts: parts}
+}
+
+func (m MetisLike) params() (eps float64, passes int) {
+	eps = m.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	passes = m.Passes
+	if passes == 0 {
+		passes = 4
+	}
+	return eps, passes
+}
+
+// partitionInternal runs the multilevel pipeline and returns the vertex
+// assignment on the original graph.
+func (m MetisLike) partitionInternal(g *graph.Graph, k int) []int {
+	eps, passes := m.params()
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	if k <= 1 {
+		return make([]int, g.NumVertices())
+	}
+
+	// Coarsening phase.
+	levels := []*wgraph{fromGraph(g)}
+	var cmaps [][]int
+	coarsenTo := 40 * k
+	if coarsenTo < 512 {
+		coarsenTo = 512
+	}
+	for levels[len(levels)-1].n > coarsenTo {
+		cur := levels[len(levels)-1]
+		coarse, cmap := coarsen(cur, rng)
+		if float64(coarse.n) > 0.95*float64(cur.n) {
+			break // matching stalled (e.g. star graphs); stop coarsening
+		}
+		levels = append(levels, coarse)
+		cmaps = append(cmaps, cmap)
+	}
+
+	// Initial partition on the coarsest level.
+	coarsest := levels[len(levels)-1]
+	parts := growInitial(coarsest, k, rng)
+	totalW := coarsest.totalVWgt()
+	maxW := int64(float64(totalW) / float64(k) * (1 + eps))
+	refineEdgeCut(coarsest, parts, k, maxW, passes, rng)
+
+	// Uncoarsen with refinement at every level.
+	for lvl := len(levels) - 2; lvl >= 0; lvl-- {
+		fine := levels[lvl]
+		cmap := cmaps[lvl]
+		fineParts := make([]int, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineParts[v] = parts[cmap[v]]
+		}
+		parts = fineParts
+		maxW = int64(float64(fine.totalVWgt()) / float64(k) * (1 + eps))
+		refineEdgeCut(fine, parts, k, maxW, passes, rng)
+	}
+	return parts
+}

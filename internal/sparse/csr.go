@@ -1,0 +1,385 @@
+// Package sparse implements the compressed sparse row (CSR) matrices,
+// block-row views, and SpMM kernels that underpin distributed full-batch
+// GCN training. The key sparsity-aware primitive is NnzColsInRange: the set
+// of nonzero column indices of a block A[i][j], which tells process i
+// exactly which rows of the dense activation matrix H it must receive from
+// process j.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sagnn/internal/dense"
+)
+
+// Coord is a single nonzero in coordinate (COO) form.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int     // len NumRows+1
+	ColIdx           []int     // len NNZ, sorted within each row
+	Val              []float64 // len NNZ
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// NewCSR builds a CSR matrix from COO triples. Duplicate (row, col) entries
+// are summed; entries are sorted by (row, col). Out-of-range coordinates
+// panic: they always indicate a construction bug upstream.
+func NewCSR(rows, cols int, coords []Coord) *CSR {
+	for _, c := range coords {
+		if c.Row < 0 || c.Row >= rows || c.Col < 0 || c.Col >= cols {
+			panic(fmt.Sprintf("sparse: coord (%d,%d) outside %dx%d", c.Row, c.Col, rows, cols))
+		}
+	}
+	sorted := make([]Coord, len(coords))
+	copy(sorted, coords)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	// Merge duplicates into a compacted prefix of sorted.
+	merged := sorted[:0]
+	for _, c := range sorted {
+		n := len(merged)
+		if n > 0 && merged[n-1].Row == c.Row && merged[n-1].Col == c.Col {
+			merged[n-1].Val += c.Val
+			continue
+		}
+		merged = append(merged, c)
+	}
+	m := &CSR{
+		NumRows: rows,
+		NumCols: cols,
+		RowPtr:  make([]int, rows+1),
+		ColIdx:  make([]int, len(merged)),
+		Val:     make([]float64, len(merged)),
+	}
+	for _, c := range merged {
+		m.RowPtr[c.Row+1]++
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	for i, c := range merged {
+		m.ColIdx[i] = c.Col
+		m.Val[i] = c.Val
+	}
+	return m
+}
+
+// FromEdges builds an n×n CSR adjacency matrix with Val=1.0 for each edge.
+func FromEdges(n int, edges [][2]int) *CSR {
+	coords := make([]Coord, len(edges))
+	for i, e := range edges {
+		coords[i] = Coord{Row: e[0], Col: e[1], Val: 1}
+	}
+	return NewCSR(n, n, coords)
+}
+
+// ToCoords returns the matrix contents in COO form, sorted by (row, col).
+func (m *CSR) ToCoords() []Coord {
+	out := make([]Coord, 0, m.NNZ())
+	for r := 0; r < m.NumRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			out = append(out, Coord{Row: r, Col: m.ColIdx[p], Val: m.Val[p]})
+		}
+	}
+	return out
+}
+
+// At returns element (i, j), zero if not stored. O(log nnz(row)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	p := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if p < hi && m.ColIdx[p] == j {
+		return m.Val[p]
+	}
+	return 0
+}
+
+// RowNNZ returns the number of nonzeros in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Transpose returns mᵀ via a counting pass (no sort needed).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int, m.NumCols+1),
+		ColIdx:  make([]int, m.NNZ()),
+		Val:     make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.NumCols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, m.NumCols)
+	copy(next, t.RowPtr[:m.NumCols])
+	for r := 0; r < m.NumRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			c := m.ColIdx[p]
+			q := next[c]
+			t.ColIdx[q] = r
+			t.Val[q] = m.Val[p]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// IsSymmetric reports whether the matrix equals its transpose, within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.NumRows != m.NumCols {
+		return false
+	}
+	t := m.Transpose()
+	if t.NNZ() != m.NNZ() {
+		return false
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != t.ColIdx[i] {
+			return false
+		}
+		d := m.Val[i] - t.Val[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PermuteSymmetric returns P·m·Pᵀ where vertex i is relabelled perm[i]
+// (new index = perm[old index]). This is the symmetric permutation applied
+// after graph partitioning so each part's vertices become a contiguous
+// block-row range.
+func (m *CSR) PermuteSymmetric(perm []int) *CSR {
+	if m.NumRows != m.NumCols {
+		panic("sparse: PermuteSymmetric on non-square matrix")
+	}
+	if len(perm) != m.NumRows {
+		panic(fmt.Sprintf("sparse: perm len %d != %d", len(perm), m.NumRows))
+	}
+	coords := make([]Coord, 0, m.NNZ())
+	for r := 0; r < m.NumRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			coords = append(coords, Coord{Row: perm[r], Col: perm[m.ColIdx[p]], Val: m.Val[p]})
+		}
+	}
+	return NewCSR(m.NumRows, m.NumCols, coords)
+}
+
+// RowBlock returns rows [lo, hi) of m as a standalone (hi-lo)×NumCols CSR.
+func (m *CSR) RowBlock(lo, hi int) *CSR {
+	if lo < 0 || hi > m.NumRows || lo > hi {
+		panic(fmt.Sprintf("sparse: RowBlock [%d,%d) of %d", lo, hi, m.NumRows))
+	}
+	b := &CSR{
+		NumRows: hi - lo,
+		NumCols: m.NumCols,
+		RowPtr:  make([]int, hi-lo+1),
+	}
+	start, end := m.RowPtr[lo], m.RowPtr[hi]
+	b.ColIdx = append([]int(nil), m.ColIdx[start:end]...)
+	b.Val = append([]float64(nil), m.Val[start:end]...)
+	for r := lo; r <= hi; r++ {
+		b.RowPtr[r-lo] = m.RowPtr[r] - start
+	}
+	return b
+}
+
+// ColRange is a half-open column interval [Lo, Hi) defining a block column.
+type ColRange struct{ Lo, Hi int }
+
+// NnzColsInRange returns the sorted distinct column indices of m that fall
+// in [cr.Lo, cr.Hi), rebased to the range (i.e. minus cr.Lo). For a local
+// block row Aᵀ_i this is exactly NnzCols(i, j) from the paper: the rows of
+// H_j that process i needs.
+func (m *CSR) NnzColsInRange(cr ColRange) []int {
+	width := cr.Hi - cr.Lo
+	if width < 0 {
+		panic(fmt.Sprintf("sparse: bad ColRange [%d,%d)", cr.Lo, cr.Hi))
+	}
+	seen := make([]bool, width)
+	count := 0
+	for _, c := range m.ColIdx {
+		if c >= cr.Lo && c < cr.Hi && !seen[c-cr.Lo] {
+			seen[c-cr.Lo] = true
+			count++
+		}
+	}
+	out := make([]int, 0, count)
+	for c, s := range seen {
+		if s {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ExtractBlock returns the submatrix of rows [rows.Lo, rows.Hi) and columns
+// [cols.Lo, cols.Hi) as a standalone CSR with rebased indices.
+func (m *CSR) ExtractBlock(rows, cols ColRange) *CSR {
+	b := &CSR{
+		NumRows: rows.Hi - rows.Lo,
+		NumCols: cols.Hi - cols.Lo,
+		RowPtr:  make([]int, rows.Hi-rows.Lo+1),
+	}
+	for r := rows.Lo; r < rows.Hi; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			c := m.ColIdx[p]
+			if c >= cols.Lo && c < cols.Hi {
+				b.ColIdx = append(b.ColIdx, c-cols.Lo)
+				b.Val = append(b.Val, m.Val[p])
+			}
+		}
+		b.RowPtr[r-rows.Lo+1] = len(b.ColIdx)
+	}
+	return b
+}
+
+// RelabelCols returns a copy of m whose column index c is replaced by
+// newIdx[c]; NumCols becomes numCols. Used to compact a block's columns to
+// the received-row ordering in sparsity-aware SpMM. Every stored column must
+// have a mapping (newIdx[c] >= 0).
+func (m *CSR) RelabelCols(newIdx []int, numCols int) *CSR {
+	out := &CSR{
+		NumRows: m.NumRows,
+		NumCols: numCols,
+		RowPtr:  append([]int(nil), m.RowPtr...),
+		ColIdx:  make([]int, m.NNZ()),
+		Val:     append([]float64(nil), m.Val...),
+	}
+	for i, c := range m.ColIdx {
+		nc := newIdx[c]
+		if nc < 0 || nc >= numCols {
+			panic(fmt.Sprintf("sparse: RelabelCols maps %d to %d (numCols %d)", c, nc, numCols))
+		}
+		out.ColIdx[i] = nc
+	}
+	return out
+}
+
+// SpMM computes m × h into a new dense matrix. Rows are processed in
+// parallel stripes.
+func (m *CSR) SpMM(h *dense.Matrix) *dense.Matrix {
+	out := dense.New(m.NumRows, h.Cols)
+	m.SpMMAddInto(out, h)
+	return out
+}
+
+// SpMMAddInto computes out += m × h. out must be m.NumRows × h.Cols.
+func (m *CSR) SpMMAddInto(out, h *dense.Matrix) {
+	if m.NumCols != h.Rows {
+		panic(fmt.Sprintf("sparse: SpMM dims %dx%d × %dx%d", m.NumRows, m.NumCols, h.Rows, h.Cols))
+	}
+	if out.Rows != m.NumRows || out.Cols != h.Cols {
+		panic(fmt.Sprintf("sparse: SpMM out %dx%d want %dx%d", out.Rows, out.Cols, m.NumRows, h.Cols))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if m.NumRows < 256 || workers == 1 {
+		m.spmmStripe(out, h, 0, m.NumRows)
+		return
+	}
+	if workers > m.NumRows {
+		workers = m.NumRows
+	}
+	var wg sync.WaitGroup
+	chunk := (m.NumRows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m.NumRows {
+			hi = m.NumRows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.spmmStripe(out, h, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (m *CSR) spmmStripe(out, h *dense.Matrix, lo, hi int) {
+	f := h.Cols
+	for r := lo; r < hi; r++ {
+		orow := out.Row(r)
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			v := m.Val[p]
+			hrow := h.Data[m.ColIdx[p]*f : (m.ColIdx[p]+1)*f]
+			for j, hv := range hrow {
+				orow[j] += v * hv
+			}
+		}
+	}
+}
+
+// Flops returns the floating-point operation count of one SpMM with a dense
+// operand of width f: 2·nnz·f (one multiply + one add per nonzero per
+// column).
+func (m *CSR) Flops(f int) int64 { return 2 * int64(m.NNZ()) * int64(f) }
+
+// Scale multiplies all stored values by s, in place.
+func (m *CSR) Scale(s float64) {
+	for i := range m.Val {
+		m.Val[i] *= s
+	}
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  append([]int(nil), m.RowPtr...),
+		ColIdx:  append([]int(nil), m.ColIdx...),
+		Val:     append([]float64(nil), m.Val...),
+	}
+}
+
+// NewRandom returns an n×n matrix with each off-diagonal entry present
+// independently with probability p (Erdős–Rényi). Values are 1.0.
+func NewRandom(rng *rand.Rand, n int, p float64) *CSR {
+	var coords []Coord
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				coords = append(coords, Coord{Row: i, Col: j, Val: 1})
+			}
+		}
+	}
+	return NewCSR(n, n, coords)
+}
+
+// ToDense materialises the matrix; intended for tests on small inputs.
+func (m *CSR) ToDense() *dense.Matrix {
+	d := dense.New(m.NumRows, m.NumCols)
+	for r := 0; r < m.NumRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			d.Set(r, m.ColIdx[p], m.Val[p])
+		}
+	}
+	return d
+}

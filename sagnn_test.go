@@ -1,0 +1,114 @@
+package sagnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainPublicAPI1D(t *testing.T) {
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	res := Train(TrainConfig{
+		Dataset:     ds,
+		Processes:   4,
+		Algorithm:   SparsityAware1D,
+		Partitioner: NewGVB(42),
+		Epochs:      3,
+	})
+	if len(res.History) != 3 {
+		t.Fatalf("history %d", len(res.History))
+	}
+	if res.EpochSeconds <= 0 || math.IsNaN(res.FinalLoss) {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.PartitionQuality == nil {
+		t.Fatal("expected partition quality")
+	}
+}
+
+func TestTrainPublicAPI15D(t *testing.T) {
+	ds := MustLoadDataset(AmazonSim, 42, 64)
+	res := Train(TrainConfig{
+		Dataset:     ds,
+		Processes:   8,
+		Replication: 2,
+		Algorithm:   Oblivious15D,
+		Epochs:      2,
+	})
+	if _, ok := res.Breakdown["allreduce"]; !ok {
+		t.Fatalf("1.5D must all-reduce: %v", res.Breakdown)
+	}
+	if res.PartitionQuality != nil {
+		t.Fatal("no partitioner requested")
+	}
+}
+
+func TestTrainSerialLearns(t *testing.T) {
+	ds := MustLoadDataset(RedditSim, 42, 64)
+	hist := TrainSerial(ds, 15, 16, 3, 0.05, 1)
+	if hist[len(hist)-1].Loss >= hist[0].Loss {
+		t.Fatalf("loss did not improve: %v -> %v", hist[0].Loss, hist[len(hist)-1].Loss)
+	}
+}
+
+func TestTrainMatchesSerialTrajectory(t *testing.T) {
+	ds := MustLoadDataset(RedditSim, 42, 64)
+	serial := TrainSerial(ds, 5, 16, 3, 0.05, 7)
+	dist := Train(TrainConfig{
+		Dataset:   ds,
+		Processes: 4,
+		Algorithm: SparsityAware1D,
+		Epochs:    5,
+		LR:        0.05,
+		Seed:      7,
+	})
+	for i := range serial {
+		if math.Abs(serial[i].Loss-dist.History[i].Loss) > 1e-8 {
+			t.Fatalf("epoch %d: serial %v dist %v", i, serial[i].Loss, dist.History[i].Loss)
+		}
+	}
+}
+
+func TestEvaluatePartitioners(t *testing.T) {
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	qs := EvaluatePartitioners(ds, 8, 42)
+	if len(qs) != 4 {
+		t.Fatalf("want 4 partitioners, got %d", len(qs))
+	}
+	byName := map[string]int64{}
+	for _, q := range qs {
+		byName[q.Partitioner] = q.EdgeCut
+	}
+	// On the scrambled banded graph, multilevel partitioners must beat the
+	// structure-blind ones decisively.
+	if byName["gvb"]*2 > byName["block"] {
+		t.Fatalf("gvb cut %d should be ≪ block cut %d", byName["gvb"], byName["block"])
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil dataset")
+		}
+	}()
+	Train(TrainConfig{Processes: 2, Algorithm: Oblivious1D})
+}
+
+func TestTrainSAGEVariant(t *testing.T) {
+	ds := GenerateCommunityDataset("comms", 256, 4, 10, 2, 16, 0.3, 19)
+	res := Train(TrainConfig{
+		Dataset:   ds,
+		Processes: 4,
+		Algorithm: SparsityAware1D,
+		Epochs:    40,
+		LR:        0.3,
+		Seed:      5,
+		SAGE:      true,
+	})
+	if res.TestAcc < 0.5 {
+		t.Fatalf("SAGE test accuracy too low: %v", res.TestAcc)
+	}
+	if res.History[39].Loss >= res.History[0].Loss {
+		t.Fatal("SAGE loss did not decrease")
+	}
+}
