@@ -11,12 +11,19 @@ package sagnn
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"testing"
 
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/distmm"
 	"sagnn/internal/experiments"
+	"sagnn/internal/gcn"
 	"sagnn/internal/gen"
+	"sagnn/internal/machine"
+	"sagnn/internal/sparse"
 )
 
 // benchScale returns the dataset scale divisor for benchmarks.
@@ -35,6 +42,7 @@ const benchSeed = 42
 // in one SpMM under METIS partitioning (Amazon, f=300) and the resulting
 // communication load imbalance.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table2(benchScale(), []int{16, 32, 64, 128, 256}, benchSeed)
 		if i == 0 {
@@ -58,6 +66,7 @@ func BenchmarkFigure3(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(string(c.ds), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				series := experiments.Figure3(c.ds, benchScale(), c.ps, benchSeed)
 				if i == 0 {
@@ -95,6 +104,7 @@ func reportSpeedup(b *testing.B, series []experiments.Series) {
 func BenchmarkFigure4(b *testing.B) {
 	for _, ds := range []gen.Preset{gen.RedditSim, gen.AmazonSim} {
 		b.Run(string(ds), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				series := experiments.Figure3(ds, benchScale(), []int{16, 64}, benchSeed)
 				if i == 0 {
@@ -110,6 +120,7 @@ func BenchmarkFigure4(b *testing.B) {
 // 1D schemes at p=16 with the per-phase breakdown; the paper reports a
 // ≈2.3× SA+GVB improvement.
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Figure5(benchScale(), 16, benchSeed)
 		if i == 0 {
@@ -135,6 +146,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	for _, ds := range []gen.Preset{gen.AmazonSim, gen.ProteinSim} {
 		b.Run(string(ds), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				series := experiments.Figure6(ds, benchScale(), []int{4, 16, 32, 64}, benchSeed)
 				if i == 0 {
@@ -150,6 +162,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	for _, ds := range []gen.Preset{gen.AmazonSim, gen.ProteinSim} {
 		b.Run(string(ds), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				series := experiments.Figure7(ds, benchScale(), []int{16, 32, 64, 128, 256}, []int{2, 4}, benchSeed)
 				if i == 0 {
@@ -164,6 +177,7 @@ func BenchmarkFigure7(b *testing.B) {
 // how much the max-send-volume refinement phase improves the bottleneck
 // metric over the identical pipeline without it.
 func BenchmarkAblationGVBVolumePhase(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.AblationGVBVolumePhase(gen.AmazonSim, benchScale(), 64, benchSeed)
 		if i == 0 {
@@ -190,6 +204,7 @@ func BenchmarkAblationGVBVolumePhase(b *testing.B) {
 // BenchmarkAblationReplication sweeps the 1.5D replication factor at fixed
 // P, exposing the broadcast-vs-allreduce tradeoff of Section 7.2.
 func BenchmarkAblationReplication(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.AblationReplication(gen.ProteinSim, benchScale(), 64, []int{1, 2, 4, 8}, benchSeed)
 		if i == 0 {
@@ -208,4 +223,105 @@ func BenchmarkSerialEpoch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		TrainSerial(ds, 1, 16, 3, 0.05, 1)
 	}
+}
+
+// BenchmarkSerialEpochSteadyState measures the marginal cost of one more
+// epoch on an already-constructed serial trainer: dataset load, model init,
+// and first-epoch workspace growth all sit outside the timer, so allocs/op
+// reports the steady-state allocation footprint of the training loop.
+func BenchmarkSerialEpochSteadyState(b *testing.B) {
+	ds := MustLoadDataset(RedditSim, benchSeed, benchScale()*4)
+	aHat := ds.G.NormalizedAdjacency()
+	dims := gcn.LayerDims(ds.FeatureDim(), 16, ds.Classes, 3)
+	s := gcn.NewSerial(aHat, ds.Features, ds.Labels, ds.Train, gcn.NewModel(1, dims), 0.05)
+	s.Epoch() // warm up any lazily-built workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Epoch()
+	}
+}
+
+// sparseCSR keeps the benchmark table below readable.
+type sparseCSR = sparse.CSR
+
+func newBenchRand() *rand.Rand { return rand.New(rand.NewSource(benchSeed)) }
+
+// benchMultiply runs one rank's share of a collective Multiply into a
+// caller-owned output block via the allocation-free path.
+func benchMultiply(e distmm.Engine, r *comm.Rank, local, out *dense.Matrix) {
+	e.MultiplyInto(r, local, out)
+}
+
+// benchWorld builds a small distributed fixture shared by the steady-state
+// microbenchmarks: a banded protein-like graph on p simulated ranks.
+func benchWorld(b *testing.B, p int) (*comm.World, *gen.Dataset) {
+	b.Helper()
+	ds := MustLoadDataset(ProteinSim, benchSeed, 16)
+	return comm.NewWorld(p, machine.Perlmutter()), ds
+}
+
+// BenchmarkMultiplyPerEngine measures one collective distributed SpMM
+// (Engine.Multiply across all ranks) for each of the four engines, with the
+// engine setup excluded. allocs/op is the headline: steady-state Multiply
+// should not allocate per call beyond the fixed per-Run goroutine cost.
+func BenchmarkMultiplyPerEngine(b *testing.B) {
+	const p, f = 8, 64
+	cases := []struct {
+		name string
+		make func(w *comm.World, a *sparseCSR) distmm.Engine
+	}{
+		{"oblivious-1d", func(w *comm.World, a *sparseCSR) distmm.Engine {
+			return distmm.NewOblivious1D(w, a, distmm.UniformLayout(a.NumRows, p))
+		}},
+		{"sparsity-aware-1d", func(w *comm.World, a *sparseCSR) distmm.Engine {
+			return distmm.NewSparsityAware1D(w, a, distmm.UniformLayout(a.NumRows, p))
+		}},
+		{"oblivious-1.5d", func(w *comm.World, a *sparseCSR) distmm.Engine {
+			return distmm.NewOblivious15D(w, a, 2, distmm.UniformLayout(a.NumRows, p/2))
+		}},
+		{"sparsity-aware-1.5d", func(w *comm.World, a *sparseCSR) distmm.Engine {
+			return distmm.NewSparsityAware15D(w, a, 2, distmm.UniformLayout(a.NumRows, p/2))
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			w, ds := benchWorld(b, p)
+			a := ds.G.NormalizedAdjacency()
+			e := c.make(w, a)
+			lay := e.Layout()
+			h := dense.NewRandom(newBenchRand(), a.NumRows, f, 1.0)
+			locals := make([]*dense.Matrix, p)
+			outs := make([]*dense.Matrix, p)
+			for rank := 0; rank < p; rank++ {
+				blk := e.BlockOf(rank)
+				lo, hi := lay.Range(blk)
+				locals[rank] = h.SliceRows(lo, hi).Clone()
+				outs[rank] = dense.New(hi-lo, f)
+			}
+			// Warm up per-rank workspaces so they are sized before timing.
+			w.Run(func(r *comm.Rank) { benchMultiply(e, r, locals[r.ID], outs[r.ID]) })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(r *comm.Rank) { benchMultiply(e, r, locals[r.ID], outs[r.ID]) })
+			}
+		})
+	}
+}
+
+// BenchmarkDistEpochSteadyState measures per-epoch cost of the distributed
+// trainer with world + engine setup excluded. TrainEpochs(b.N) runs b.N
+// epochs inside one collective launch, so allocs/op amortises the one-time
+// model/workspace construction and reports the steady-state epoch footprint.
+func BenchmarkDistEpochSteadyState(b *testing.B) {
+	const p = 8
+	w, ds := benchWorld(b, p)
+	aHat := ds.G.NormalizedAdjacency()
+	e := distmm.NewSparsityAware1D(w, aHat, distmm.UniformLayout(aHat.NumRows, p))
+	dims := gcn.LayerDims(ds.FeatureDim(), 16, ds.Classes, 3)
+	trainer := gcn.NewDistributed(w, e, ds.Features, ds.Labels, ds.Train, dims, 0.05, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	trainer.TrainEpochs(b.N)
 }

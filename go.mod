@@ -1,0 +1,3 @@
+module sagnn
+
+go 1.21

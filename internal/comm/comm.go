@@ -32,6 +32,7 @@ type World struct {
 	stats  *Stats
 	mail   [][]chan message // mail[dst][src]
 	world  *Group
+	pool   bufPool
 }
 
 // NewWorld creates a world of p ranks with the given machine parameters.
@@ -44,6 +45,7 @@ func NewWorld(p int, params machine.Params) *World {
 		Params: params,
 		Ledger: machine.NewLedger(p),
 		stats:  newStats(p),
+		pool:   newBufPool(),
 	}
 	w.mail = make([][]chan message, p)
 	for d := range w.mail {
@@ -84,7 +86,9 @@ func (w *World) NewGroup(members []int) *Group {
 		members: append([]int(nil), members...),
 		idx:     idx,
 		bar:     newBarrier(len(members)),
-		slots:   make([]any, len(members)),
+		fslots:  make([][]float64, len(members)),
+		vslots:  make([][][]float64, len(members)),
+		islots:  make([][][]int, len(members)),
 	}
 }
 
@@ -139,12 +143,36 @@ func (r *Rank) ChargeCompute(phase string, sec float64) { r.chargeTime(phase, se
 // Send delivers a tagged float payload to dst. Models an eager/buffered
 // send: it never blocks (mailboxes hold 64 in-flight messages per pair, far above the ≤1-per-Multiply the staged protocols use), matching the paper's use of
 // non-blocking Isend.
+//
+// The payload is copied into a pooled transport buffer, so the caller keeps
+// ownership of floats; the receiver owns the transport buffer (see Recv /
+// RecvInto). To skip the copy entirely, pack into GetFloats and use
+// SendOwned.
 func (r *Rank) Send(dst, tag int, floats []float64, phase string) {
 	if dst == r.ID {
 		panic("comm: self-send not supported; use local data directly")
 	}
-	cp := append([]float64(nil), floats...)
-	r.w.mail[dst][r.ID] <- message{tag: tag, floats: cp}
+	var cp []float64
+	if floats != nil {
+		cp = r.w.pool.get(len(floats))
+		copy(cp, floats)
+	}
+	r.sendOwned(dst, tag, cp, phase)
+}
+
+// SendOwned delivers a tagged float payload to dst without copying: the
+// buffer itself (typically from GetFloats) travels to the receiver, which
+// assumes ownership. The caller must not touch floats afterwards — this is
+// the sender half of the pooled zero-copy path.
+func (r *Rank) SendOwned(dst, tag int, floats []float64, phase string) {
+	if dst == r.ID {
+		panic("comm: self-send not supported; use local data directly")
+	}
+	r.sendOwned(dst, tag, floats, phase)
+}
+
+func (r *Rank) sendOwned(dst, tag int, floats []float64, phase string) {
+	r.w.mail[dst][r.ID] <- message{tag: tag, floats: floats}
 	n := int64(len(floats)) * machine.BytesPerElem
 	r.w.stats.addSend(r.ID, n, 1)
 	r.chargeTime(phase, r.w.Params.P2PTime(n))
@@ -166,6 +194,10 @@ func (r *Rank) SendInts(dst, tag int, ints []int, phase string) {
 // Recv blocks until the next message from src arrives and returns its float
 // payload. The tag must match the head message — the protocols in this
 // repository are deterministic, so a mismatch is a bug, not a race.
+//
+// The returned buffer is owned by the caller: keep it indefinitely, or hand
+// it back with PutFloats once done. For a zero-allocation steady state use
+// RecvInto with a persistent workspace instead.
 func (r *Rank) Recv(src, tag int, phase string) []float64 {
 	m := <-r.w.mail[r.ID][src]
 	if m.tag != tag {
@@ -175,6 +207,24 @@ func (r *Rank) Recv(src, tag int, phase string) []float64 {
 	r.w.stats.addRecv(r.ID, n)
 	_ = phase // receive time is charged on the sender's P2PTime; the barrier-free recv just waits
 	return m.floats
+}
+
+// RecvInto blocks for the next message from src, copies its payload into
+// dst (whose length must equal the payload length), and recycles the
+// transport buffer. Volume accounting matches Recv exactly.
+func (r *Rank) RecvInto(src, tag int, dst []float64, phase string) {
+	m := <-r.w.mail[r.ID][src]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
+	}
+	if len(m.floats) != len(dst) {
+		panic(fmt.Sprintf("comm: rank %d RecvInto dst len %d, payload len %d", r.ID, len(dst), len(m.floats)))
+	}
+	copy(dst, m.floats)
+	n := int64(len(m.floats)) * machine.BytesPerElem
+	r.w.stats.addRecv(r.ID, n)
+	_ = phase
+	r.w.pool.put(m.floats)
 }
 
 // RecvInts is Recv for int payloads.

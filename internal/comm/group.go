@@ -9,12 +9,19 @@ import (
 // Group is a communicator over a subset of world ranks (a process row or
 // column in the 1.5D grid, or the whole world). All collectives must be
 // entered by every member, in the same order — MPI semantics.
+//
+// Exchange slots are typed per payload shape ([]float64, [][]float64,
+// [][]int) rather than held as `any`: storing a slice header in an
+// interface boxes it on the heap, which would put one allocation in every
+// collective of the steady-state training loop.
 type Group struct {
 	w       *World
 	members []int
 	idx     map[int]int // world rank -> group index
 	bar     *barrier
-	slots   []any
+	fslots  [][]float64   // bcast / allreduce / allgather payloads
+	vslots  [][][]float64 // alltoallv payloads
+	islots  [][][]int     // alltoallv int payloads (setup only)
 }
 
 // Size returns the number of members.
@@ -38,30 +45,44 @@ func (g *Group) Barrier(r *Rank) {
 	g.bar.wait()
 }
 
-// publish places data in the caller's slot and waits for all members.
-func (g *Group) publish(r *Rank, data any) {
-	g.slots[g.IndexOf(r)] = data
-	g.bar.wait()
-}
-
 // retire waits for all members to finish reading, then clears the caller's
-// slot so the next collective starts clean.
+// slots so the next collective starts clean.
 func (g *Group) retire(r *Rank) {
 	g.bar.wait()
-	g.slots[g.IndexOf(r)] = nil
+	me := g.IndexOf(r)
+	g.fslots[me] = nil
+	g.vslots[me] = nil
+	g.islots[me] = nil
 }
 
 // BcastFloats broadcasts root's (group-index) payload to every member and
 // returns each member's own copy. Charged as a pipelined-tree broadcast.
 func (g *Group) BcastFloats(r *Rank, root int, data []float64, phase string) []float64 {
+	return g.bcastFloats(r, root, data, nil, false, phase)
+}
+
+// BcastFloatsInto is BcastFloats copying into a caller-supplied workspace
+// (whose length must equal the payload length) instead of allocating; it
+// returns dst. Volume accounting and time charges match BcastFloats.
+func (g *Group) BcastFloatsInto(r *Rank, root int, data, dst []float64, phase string) []float64 {
+	return g.bcastFloats(r, root, data, dst, true, phase)
+}
+
+func (g *Group) bcastFloats(r *Rank, root int, data, dst []float64, useDst bool, phase string) []float64 {
 	me := g.IndexOf(r)
-	var payload any
 	if me == root {
-		payload = data
+		g.fslots[me] = data
 	}
-	g.publish(r, payload)
-	src := g.slots[root].([]float64)
-	out := append([]float64(nil), src...)
+	g.bar.wait()
+	src := g.fslots[root]
+	if useDst {
+		if len(dst) != len(src) {
+			panic(fmt.Sprintf("comm: bcast dst len %d, payload len %d", len(dst), len(src)))
+		}
+	} else {
+		dst = make([]float64, len(src))
+	}
+	copy(dst, src)
 	nBytes := int64(len(src)) * machine.BytesPerElem
 	if me == root {
 		g.w.stats.addSend(r.ID, nBytes, 1)
@@ -70,17 +91,36 @@ func (g *Group) BcastFloats(r *Rank, root int, data []float64, phase string) []f
 	}
 	r.chargeTime(phase, g.w.Params.BcastTime(nBytes, g.Size()))
 	g.retire(r)
-	return out
+	return dst
 }
 
 // AllReduceSum element-wise sums each member's vector and returns the
 // reduced vector to all. Vectors must share a length. Charged as a ring
 // all-reduce.
 func (g *Group) AllReduceSum(r *Rank, data []float64, phase string) []float64 {
-	g.publish(r, data)
 	out := make([]float64, len(data))
+	g.AllReduceSumInto(r, data, out, phase)
+	return out
+}
+
+// AllReduceSumInto is AllReduceSum reducing into a caller-supplied vector.
+// out must have data's length and must not alias any member's published
+// input (members read each other's inputs while writing their own out).
+func (g *Group) AllReduceSumInto(r *Rank, data, out []float64, phase string) {
+	if len(out) != len(data) {
+		panic(fmt.Sprintf("comm: allreduce out len %d, data len %d", len(out), len(data)))
+	}
+	if len(data) > 0 && &out[0] == &data[0] {
+		panic("comm: AllReduceSumInto out must not alias data")
+	}
+	me := g.IndexOf(r)
+	g.fslots[me] = data
+	g.bar.wait()
+	for j := range out {
+		out[j] = 0
+	}
 	for i := range g.members {
-		v := g.slots[i].([]float64)
+		v := g.fslots[i]
 		if len(v) != len(data) {
 			panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(v), len(data)))
 		}
@@ -96,19 +136,44 @@ func (g *Group) AllReduceSum(r *Rank, data []float64, phase string) []float64 {
 	}
 	r.chargeTime(phase, g.w.Params.AllReduceTime(nBytes, g.Size()))
 	g.retire(r)
-	return out
 }
 
 // AllGatherFloats concatenates each member's variable-length contribution
 // in group order and returns the slices per contributor. Charged as a ring
 // all-gather of the concatenated size.
 func (g *Group) AllGatherFloats(r *Rank, data []float64, phase string) [][]float64 {
-	g.publish(r, data)
-	out := make([][]float64, g.Size())
+	return g.allGatherFloats(r, data, nil, phase)
+}
+
+// AllGatherFloatsInto is AllGatherFloats copying into caller-supplied
+// per-contributor workspaces: dst[i] must have the length of member i's
+// contribution. Returns dst.
+func (g *Group) AllGatherFloatsInto(r *Rank, data []float64, dst [][]float64, phase string) [][]float64 {
+	if len(dst) != g.Size() {
+		panic(fmt.Sprintf("comm: allgather dst has %d buckets for group of %d", len(dst), g.Size()))
+	}
+	return g.allGatherFloats(r, data, dst, phase)
+}
+
+func (g *Group) allGatherFloats(r *Rank, data []float64, dst [][]float64, phase string) [][]float64 {
+	me := g.IndexOf(r)
+	g.fslots[me] = data
+	g.bar.wait()
+	alloc := dst == nil
+	if alloc {
+		dst = make([][]float64, g.Size())
+	}
 	var total int64
 	for i := range g.members {
-		v := g.slots[i].([]float64)
-		out[i] = append([]float64(nil), v...)
+		v := g.fslots[i]
+		if alloc {
+			dst[i] = append([]float64(nil), v...)
+		} else {
+			if len(dst[i]) != len(v) {
+				panic(fmt.Sprintf("comm: allgather dst[%d] len %d, contribution len %d", i, len(dst[i]), len(v)))
+			}
+			copy(dst[i], v)
+		}
 		total += int64(len(v))
 	}
 	totalBytes := total * machine.BytesPerElem
@@ -119,7 +184,7 @@ func (g *Group) AllGatherFloats(r *Rank, data []float64, phase string) [][]float
 	}
 	r.chargeTime(phase, g.w.Params.AllGatherTime(totalBytes, g.Size()))
 	g.retire(r)
-	return out
+	return dst
 }
 
 // AllToAllv performs a personalized exchange: send[j] goes to group member
@@ -128,21 +193,47 @@ func (g *Group) AllGatherFloats(r *Rank, data []float64, phase string) [][]float
 // plus serialized send+recv bandwidth, the model the paper uses for NCCL's
 // grouped ncclSend/ncclRecv all-to-all.
 func (g *Group) AllToAllv(r *Rank, send [][]float64, phase string) [][]float64 {
+	return g.allToAllv(r, send, nil, phase)
+}
+
+// AllToAllvInto is AllToAllv copying into caller-supplied workspaces:
+// recv[j] must have the length of what member j sends to the caller (zero
+// for silent partners). Returns recv. Volume accounting and time charges
+// match AllToAllv.
+func (g *Group) AllToAllvInto(r *Rank, send, recv [][]float64, phase string) [][]float64 {
+	if len(recv) != g.Size() {
+		panic(fmt.Sprintf("comm: alltoallv recv has %d buckets for group of %d", len(recv), g.Size()))
+	}
+	return g.allToAllv(r, send, recv, phase)
+}
+
+func (g *Group) allToAllv(r *Rank, send, recv [][]float64, phase string) [][]float64 {
 	if len(send) != g.Size() {
 		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))
 	}
 	me := g.IndexOf(r)
-	g.publish(r, send)
-	out := make([][]float64, g.Size())
+	g.vslots[me] = send
+	g.bar.wait()
+	alloc := recv == nil
+	if alloc {
+		recv = make([][]float64, g.Size())
+	}
 	var sendElems, recvElems int64
 	partners := 0
 	for j := range g.members {
-		theirs := g.slots[j].([][]float64)
-		out[j] = append([]float64(nil), theirs[me]...)
+		theirs := g.vslots[j][me]
+		if alloc {
+			recv[j] = append([]float64(nil), theirs...)
+		} else {
+			if len(recv[j]) != len(theirs) {
+				panic(fmt.Sprintf("comm: alltoallv recv[%d] len %d, payload len %d", j, len(recv[j]), len(theirs)))
+			}
+			copy(recv[j], theirs)
+		}
 		if j != me {
-			recvElems += int64(len(theirs[me]))
+			recvElems += int64(len(theirs))
 			sendElems += int64(len(send[j]))
-			if len(theirs[me]) > 0 || len(send[j]) > 0 {
+			if len(theirs) > 0 || len(send[j]) > 0 {
 				partners++
 			}
 		}
@@ -153,7 +244,7 @@ func (g *Group) AllToAllv(r *Rank, send [][]float64, phase string) [][]float64 {
 	g.w.stats.addRecv(r.ID, recvBytes)
 	r.chargeTime(phase, g.w.Params.AllToAllvTime(sendBytes, recvBytes, partners))
 	g.retire(r)
-	return out
+	return recv
 }
 
 // AllToAllvInts is AllToAllv for int payloads (the NnzCols index exchange
@@ -163,12 +254,13 @@ func (g *Group) AllToAllvInts(r *Rank, send [][]int, phase string) [][]int {
 		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))
 	}
 	me := g.IndexOf(r)
-	g.publish(r, send)
+	g.islots[me] = send
+	g.bar.wait()
 	out := make([][]int, g.Size())
 	var sendElems, recvElems int64
 	partners := 0
 	for j := range g.members {
-		theirs := g.slots[j].([][]int)
+		theirs := g.islots[j]
 		out[j] = append([]int(nil), theirs[me]...)
 		if j != me {
 			recvElems += int64(len(theirs[me]))

@@ -1,0 +1,75 @@
+package comm
+
+// bufPool is a per-world free list of float payload buffers. Send packs into
+// a pooled buffer, the matching RecvInto (or an explicit PutFloats) returns
+// it, so steady-state training reuses a fixed set of transport buffers
+// instead of allocating and GC-ing one per message.
+//
+// Ownership discipline:
+//
+//   - Send copies the caller's payload into a pooled buffer; the receiver
+//     owns that buffer once Recv returns it, and may keep it forever (it is
+//     simply garbage collected) or hand it back with PutFloats.
+//   - SendOwned transfers the caller's buffer itself — the caller must have
+//     obtained it from GetFloats and must not touch it afterwards.
+//   - RecvInto copies the payload into a caller-supplied workspace and
+//     recycles the transport buffer immediately — the zero-allocation path.
+//
+// The free list is a buffered channel: channel operations do not allocate,
+// so recycling is itself allocation-free (unlike sync.Pool, which boxes the
+// slice header on every Put). Capacities are rounded up to powers of two so
+// recycled buffers keep matching requests of similar size.
+type bufPool struct {
+	ch chan []float64
+}
+
+func newBufPool() bufPool {
+	return bufPool{ch: make(chan []float64, 1024)}
+}
+
+// roundUpPow2 returns the smallest power of two ≥ n (min 64 to avoid
+// churning tiny buffers).
+func roundUpPow2(n int) int {
+	c := 64
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// get returns a length-n buffer with unspecified contents. It tries a few
+// pooled buffers before allocating; too-small candidates go back to the
+// FIFO's tail so they stay available for smaller requests.
+func (p *bufPool) get(n int) []float64 {
+	for attempt := 0; attempt < 4; attempt++ {
+		select {
+		case b := <-p.ch:
+			if cap(b) >= n {
+				return b[:n]
+			}
+			p.put(b)
+		default:
+			attempt = 4
+		}
+	}
+	return make([]float64, n, roundUpPow2(n))
+}
+
+// put recycles a buffer; drops it if the free list is full.
+func (p *bufPool) put(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case p.ch <- b[:0]:
+	default:
+	}
+}
+
+// GetFloats returns a length-n pooled buffer with unspecified contents,
+// intended as a SendOwned payload or a scratch workspace.
+func (r *Rank) GetFloats(n int) []float64 { return r.w.pool.get(n) }
+
+// PutFloats recycles a buffer previously obtained from GetFloats, Recv, or
+// a collective's transport path. The caller must not use it afterwards.
+func (r *Rank) PutFloats(b []float64) { r.w.pool.put(b) }

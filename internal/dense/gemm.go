@@ -97,10 +97,21 @@ func gemmStripe(c, a, b *Matrix, lo, hi int) {
 // MatMulTransA returns aᵀ×b without materialising aᵀ. Used for the weight
 // gradient Y^{l-1} = (H^{l-1})ᵀ (A G^l), an f×f outer-product-shaped GEMM.
 func MatMulTransA(a, b *Matrix) *Matrix {
+	c := New(a.Cols, b.Cols)
+	MatMulTransAInto(c, a, b)
+	return c
+}
+
+// MatMulTransAInto computes c = aᵀ×b, overwriting c. c must be
+// a.Cols × b.Cols and must not alias a or b.
+func MatMulTransAInto(c, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("dense: MatMulTransA rows %d vs %d", a.Rows, b.Rows))
 	}
-	c := New(a.Cols, b.Cols)
+	if c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMulTransA output %dx%d, want %dx%d", c.Rows, c.Cols, a.Cols, b.Cols))
+	}
+	c.Zero()
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
@@ -114,16 +125,25 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return c
 }
 
 // MatMulTransB returns a×bᵀ without materialising bᵀ. Used for the input
 // gradient term G^l (W^l)ᵀ.
 func MatMulTransB(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Rows)
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes c = a×bᵀ, overwriting c. c must be
+// a.Rows × b.Rows and must not alias a or b.
+func MatMulTransBInto(c, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MatMulTransB cols %d vs %d", a.Cols, b.Cols))
 	}
-	c := New(a.Rows, b.Rows)
+	if c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MatMulTransB output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		crow := c.Row(i)
@@ -136,7 +156,6 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			crow[j] = s
 		}
 	}
-	return c
 }
 
 // naiveMatMul is the reference triple loop used by tests.

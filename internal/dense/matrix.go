@@ -68,6 +68,13 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// CopyFrom overwrites m with o's contents; shapes must match. The in-place
+// counterpart of Clone for preallocated workspaces.
+func (m *Matrix) CopyFrom(o *Matrix) {
+	m.mustSameShape(o)
+	copy(m.Data, o.Data)
+}
+
 // Zero sets every element to 0 in place.
 func (m *Matrix) Zero() {
 	for i := range m.Data {
@@ -166,12 +173,20 @@ func (m *Matrix) ReLU() {
 // ReLUDeriv returns σ′(m) for σ=ReLU: 1 where m>0 else 0.
 func (m *Matrix) ReLUDeriv() *Matrix {
 	d := New(m.Rows, m.Cols)
+	m.ReLUDerivInto(d)
+	return d
+}
+
+// ReLUDerivInto overwrites d with σ′(m) for σ=ReLU; shapes must match.
+func (m *Matrix) ReLUDerivInto(d *Matrix) {
+	m.mustSameShape(d)
 	for i, v := range m.Data {
 		if v > 0 {
 			d.Data[i] = 1
+		} else {
+			d.Data[i] = 0
 		}
 	}
-	return d
 }
 
 // Transpose returns a new matrix mᵀ.
@@ -209,10 +224,20 @@ func (m *Matrix) Sum() float64 {
 // H requested by a remote process.
 func (m *Matrix) GatherRows(idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
-	for k, i := range idx {
-		copy(out.Row(k), m.Row(i))
-	}
+	m.GatherRowsInto(out.Data, idx)
 	return out
+}
+
+// GatherRowsInto packs m.Row(idx[k]) into dst[k*Cols : (k+1)*Cols] for every
+// k — the allocation-free pack step used by the pooled communication path.
+// dst must have length len(idx)*Cols.
+func (m *Matrix) GatherRowsInto(dst []float64, idx []int) {
+	if len(dst) != len(idx)*m.Cols {
+		panic(fmt.Sprintf("dense: GatherRowsInto dst len %d, want %d rows × %d cols", len(dst), len(idx), m.Cols))
+	}
+	for k, i := range idx {
+		copy(dst[k*m.Cols:(k+1)*m.Cols], m.Row(i))
+	}
 }
 
 // ScatterRows copies src.Row(k) into m.Row(idx[k]) for every k; the unpack
@@ -262,16 +287,25 @@ func VStack(ms ...*Matrix) *Matrix {
 
 // HStack concatenates a and b horizontally: [a | b]. Row counts must match.
 func HStack(a, b *Matrix) *Matrix {
+	out := New(a.Rows, a.Cols+b.Cols)
+	HStackInto(out, a, b)
+	return out
+}
+
+// HStackInto overwrites out with [a | b]. out must be a.Rows × (a.Cols+b.Cols)
+// and must not alias a or b.
+func HStackInto(out, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("dense: HStack rows %d vs %d", a.Rows, b.Rows))
 	}
-	out := New(a.Rows, a.Cols+b.Cols)
+	if out.Rows != a.Rows || out.Cols != a.Cols+b.Cols {
+		panic(fmt.Sprintf("dense: HStack output %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, a.Cols+b.Cols))
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := out.Row(i)
 		copy(row[:a.Cols], a.Row(i))
 		copy(row[a.Cols:], b.Row(i))
 	}
-	return out
 }
 
 // SplitCols cuts m into its first `at` columns and the rest, as copies.
@@ -281,12 +315,24 @@ func (m *Matrix) SplitCols(at int) (left, right *Matrix) {
 	}
 	left = New(m.Rows, at)
 	right = New(m.Rows, m.Cols-at)
+	m.SplitColsInto(left, right)
+	return left, right
+}
+
+// SplitColsInto copies m's first left.Cols columns into left and the rest
+// into right; left.Cols + right.Cols must equal m.Cols and row counts must
+// match.
+func (m *Matrix) SplitColsInto(left, right *Matrix) {
+	if left.Rows != m.Rows || right.Rows != m.Rows || left.Cols+right.Cols != m.Cols {
+		panic(fmt.Sprintf("dense: SplitColsInto %dx%d into %dx%d + %dx%d",
+			m.Rows, m.Cols, left.Rows, left.Cols, right.Rows, right.Cols))
+	}
+	at := left.Cols
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		copy(left.Row(i), row[:at])
 		copy(right.Row(i), row[at:])
 	}
-	return left, right
 }
 
 // PermuteRows returns a new matrix whose row perm[i] is m's row i

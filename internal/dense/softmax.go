@@ -34,8 +34,15 @@ func SoftmaxRows(m *Matrix) {
 // fusion.
 func CrossEntropyLoss(probs *Matrix, labels []int, mask []int) (loss float64, grad *Matrix) {
 	grad = New(probs.Rows, probs.Cols)
+	return CrossEntropyLossInto(probs, labels, mask, grad), grad
+}
+
+// CrossEntropyLossInto is CrossEntropyLoss writing the logit gradient into a
+// caller-supplied matrix (zeroed here), for preallocated workspaces.
+func CrossEntropyLossInto(probs *Matrix, labels []int, mask []int, grad *Matrix) (loss float64) {
+	grad.Zero()
 	if len(mask) == 0 {
-		return 0, grad
+		return 0
 	}
 	inv := 1.0 / float64(len(mask))
 	for _, i := range mask {
@@ -52,7 +59,7 @@ func CrossEntropyLoss(probs *Matrix, labels []int, mask []int) (loss float64, gr
 		}
 		g[y] -= inv
 	}
-	return loss * inv, grad
+	return loss * inv
 }
 
 // Accuracy returns the fraction of rows in mask whose argmax equals the

@@ -1,0 +1,47 @@
+package distmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/machine"
+)
+
+// TestSA1DMultiplyIntoSteadyStateAllocs pins the allocation budget of a
+// steady-state SparsityAware1D.MultiplyInto collective so workspace reuse
+// cannot silently rot. After a warm-up call has sized the per-rank pack and
+// landing buffers, the only allocations left are World.Run's fixed
+// per-collective goroutine launch (a closure, wait-group bookkeeping, and
+// panic channel per rank — ~3–4 small allocations per rank, independent of
+// problem size). The pre-refactor engine allocated the output block, the
+// packed send matrices, and every all-to-allv landing slice on each call —
+// hundreds of allocations and megabytes per collective at this size.
+func TestSA1DMultiplyIntoSteadyStateAllocs(t *testing.T) {
+	const n, f, p = 1024, 32, 8
+	a := randomSym(7, n, 8)
+	w := comm.NewWorld(p, machine.Perlmutter())
+	e := NewSparsityAware1D(w, a, UniformLayout(n, p))
+	lay := e.Layout()
+	h := dense.NewRandom(rand.New(rand.NewSource(8)), n, f, 1.0)
+	locals := make([]*dense.Matrix, p)
+	outs := make([]*dense.Matrix, p)
+	for rank := 0; rank < p; rank++ {
+		lo, hi := lay.Range(rank)
+		locals[rank] = h.SliceRows(lo, hi).Clone()
+		outs[rank] = dense.New(hi-lo, f)
+	}
+	collective := func() {
+		w.Run(func(r *comm.Rank) { e.MultiplyInto(r, locals[r.ID], outs[r.ID]) })
+	}
+	collective() // size the workspaces
+
+	// 6 allocations per rank of headroom over the ~3.5/rank measured for
+	// the bare Run scaffolding; any per-element or per-row allocation blows
+	// straight through this (the pre-refactor path measured 290+).
+	const budget = 6 * p
+	if allocs := testing.AllocsPerRun(10, collective); allocs > budget {
+		t.Fatalf("steady-state MultiplyInto collective allocates %v times, budget %d", allocs, budget)
+	}
+}

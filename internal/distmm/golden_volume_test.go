@@ -1,0 +1,140 @@
+package distmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/machine"
+)
+
+// The golden values below were recorded from the pre-workspace-refactor
+// engines (seed graph randomSym(1234, 96, 5), H = NewRandom(seed 99, 96×7),
+// P=4, c=2 for the 1.5D engines). They pin two invariants the paper's
+// evaluation depends on:
+//
+//  1. Exact per-rank communication volumes — the headline metric (Table 2,
+//     Figures 3–7) must be unaffected by buffer pooling and *Into
+//     collectives.
+//  2. Bit-stable engine outputs — the refactor reuses workspaces but must
+//     not change a single accumulation order, so the checksum of Z is
+//     pinned to the exact pre-refactor float64 bits.
+type goldenRank struct {
+	sent, recv, msgs int64
+}
+
+var goldenVolumes = map[string]struct {
+	checksum uint64
+	ranks    [4]goldenRank
+}{
+	"oblivious-1d": {
+		checksum: 4627545849529018523,
+		ranks: [4]goldenRank{
+			{672, 2016, 1}, {672, 2016, 1}, {672, 2016, 1}, {672, 2016, 1},
+		},
+	},
+	"sparsity-aware-1d": {
+		checksum: 4627545849529018520,
+		ranks: [4]goldenRank{
+			{1372, 1400, 3}, {1456, 1484, 3}, {1344, 1428, 3}, {1540, 1400, 3},
+		},
+	},
+	"oblivious-1.5d(c=2)": {
+		checksum: 4627545849529018520,
+		ranks: [4]goldenRank{
+			{2688, 1344, 2}, {1344, 2688, 1}, {1344, 2688, 1}, {2688, 1344, 2},
+		},
+	},
+	"sparsity-aware-1.5d(c=2)": {
+		checksum: 4627545849529018520,
+		ranks: [4]goldenRank{
+			{2632, 1344, 2}, {1344, 2548, 1}, {1344, 2632, 1}, {2548, 1344, 2},
+		},
+	},
+}
+
+// TestEnginesMatchSerialAndGoldenVolumes runs every engine on the fixed
+// seed problem and asserts (a) agreement with the serial SpMM reference,
+// (b) bit-identical outputs to the pre-refactor engines, and (c) per-rank
+// send/recv volumes and message counts exactly equal to the golden record.
+func TestEnginesMatchSerialAndGoldenVolumes(t *testing.T) {
+	const n, f, p = 96, 7, 4
+	a := randomSym(1234, n, 5)
+	h := dense.NewRandom(rand.New(rand.NewSource(99)), n, f, 1.0)
+	want := a.SpMM(h)
+
+	engines := []struct {
+		name string
+		make func(w *comm.World) Engine
+	}{
+		{"oblivious-1d", func(w *comm.World) Engine { return NewOblivious1D(w, a, UniformLayout(n, p)) }},
+		{"sparsity-aware-1d", func(w *comm.World) Engine { return NewSparsityAware1D(w, a, UniformLayout(n, p)) }},
+		{"oblivious-1.5d(c=2)", func(w *comm.World) Engine { return NewOblivious15D(w, a, 2, UniformLayout(n, p/2)) }},
+		{"sparsity-aware-1.5d(c=2)", func(w *comm.World) Engine { return NewSparsityAware15D(w, a, 2, UniformLayout(n, p/2)) }},
+	}
+	for _, mk := range engines {
+		w := comm.NewWorld(p, machine.Perlmutter())
+		e := mk.make(w)
+		if e.Name() != mk.name {
+			t.Fatalf("engine name %q, want %q", e.Name(), mk.name)
+		}
+		golden, ok := goldenVolumes[mk.name]
+		if !ok {
+			t.Fatalf("no golden record for %q", mk.name)
+		}
+		z := runMultiply(t, w, e, h)
+		if d := z.MaxAbsDiff(want); d > 1e-10 {
+			t.Errorf("%s: diff vs serial %g", mk.name, d)
+		}
+		sum := 0.0
+		for _, v := range z.Data {
+			sum += v
+		}
+		if bits := math.Float64bits(sum); bits != golden.checksum {
+			t.Errorf("%s: output checksum bits %d, golden %d — engine output changed",
+				mk.name, bits, golden.checksum)
+		}
+		for rank := 0; rank < p; rank++ {
+			g := golden.ranks[rank]
+			if got := w.Stats().BytesSent(rank); got != g.sent {
+				t.Errorf("%s rank %d: sent %d bytes, golden %d", mk.name, rank, got, g.sent)
+			}
+			if got := w.Stats().BytesRecv(rank); got != g.recv {
+				t.Errorf("%s rank %d: recv %d bytes, golden %d", mk.name, rank, got, g.recv)
+			}
+			if got := w.Stats().MsgsSent(rank); got != g.msgs {
+				t.Errorf("%s rank %d: %d msgs, golden %d", mk.name, rank, got, g.msgs)
+			}
+		}
+	}
+}
+
+// TestMultiplyIntoMatchesMultiply pins the wrapper contract: Multiply and
+// MultiplyInto must produce identical bits (Multiply is a thin allocation
+// wrapper over MultiplyInto).
+func TestMultiplyIntoMatchesMultiply(t *testing.T) {
+	const n, f, p = 96, 5, 4
+	a := randomSym(21, n, 6)
+	h := dense.NewRandom(rand.New(rand.NewSource(22)), n, f, 1.0)
+
+	w1 := comm.NewWorld(p, machine.Perlmutter())
+	e1 := NewSparsityAware1D(w1, a, UniformLayout(n, p))
+	viaMultiply := runMultiply(t, w1, e1, h)
+
+	w2 := comm.NewWorld(p, machine.Perlmutter())
+	e2 := NewSparsityAware1D(w2, a, UniformLayout(n, p))
+	lay := e2.Layout()
+	out := dense.New(n, f)
+	w2.Run(func(r *comm.Rank) {
+		lo, hi := lay.Range(r.ID)
+		dst := out.SliceRows(lo, hi)
+		e2.MultiplyInto(r, h.SliceRows(lo, hi).Clone(), dst)
+	})
+	for i, v := range viaMultiply.Data {
+		if out.Data[i] != v {
+			t.Fatalf("element %d: MultiplyInto %v, Multiply %v", i, out.Data[i], v)
+		}
+	}
+}

@@ -10,23 +10,43 @@ import (
 )
 
 // Engine is one rank-parallel distributed SpMM algorithm over a fixed
-// sparse matrix. Multiply is called collectively: every rank passes its own
-// H block and receives its own Z block. Engines are safe for concurrent use
-// by their world's ranks.
+// sparse matrix. Multiply/MultiplyInto are called collectively: every rank
+// passes its own H block and receives its own Z block. Engines are safe for
+// concurrent use by their world's ranks; each rank owns a private reusable
+// workspace, so steady-state MultiplyInto calls do not allocate.
 type Engine interface {
 	Name() string
 	// Layout returns the block-row distribution of the dense matrices.
 	Layout() Layout
 	// BlockOf returns the block-row index owned by a world rank.
 	BlockOf(rank int) int
-	// Multiply computes this rank's block of Aᵀ·H. hLocal must have
-	// Layout().Count(BlockOf(rank)) rows.
+	// Multiply computes this rank's block of Aᵀ·H into a new matrix. hLocal
+	// must have Layout().Count(BlockOf(rank)) rows.
 	Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix
+	// MultiplyInto computes this rank's block of Aᵀ·H into out, which must
+	// be Layout().Count(BlockOf(rank)) × hLocal.Cols and must not alias
+	// hLocal. The allocation-free steady-state form of Multiply.
+	MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix)
 	// GradGroup returns the group over which block-row-partial reductions
 	// (weight gradients, loss terms) must be summed to obtain the global
 	// value exactly once: the world for 1D layouts, the process column for
 	// 1.5D grids (each column holds every block row exactly once).
 	GradGroup(rank int) *comm.Group
+}
+
+// checkMultiplyShapes validates the collective-call contract shared by all
+// engines: hLocal holds this rank's block rows, out matches it, and out
+// does not alias hLocal (every engine reads hLocal after writing out).
+func checkMultiplyShapes(rank, ownRows int, hLocal, out *dense.Matrix) {
+	if hLocal.Rows != ownRows {
+		panic(fmt.Sprintf("distmm: rank %d got %d H rows, owns %d", rank, hLocal.Rows, ownRows))
+	}
+	if out.Rows != ownRows || out.Cols != hLocal.Cols {
+		panic(fmt.Sprintf("distmm: rank %d out %dx%d, want %dx%d", rank, out.Rows, out.Cols, ownRows, hLocal.Cols))
+	}
+	if len(out.Data) > 0 && len(hLocal.Data) > 0 && &out.Data[0] == &hLocal.Data[0] {
+		panic(fmt.Sprintf("distmm: rank %d MultiplyInto out must not alias hLocal", rank))
+	}
 }
 
 // Oblivious1D is CAGNET's sparsity-oblivious algorithm: in every Multiply,
@@ -36,10 +56,18 @@ type Oblivious1D struct {
 	layout Layout
 	blocks [][]*sparse.CSR // [rank][j] = A^T_{rank,j}
 	world  *comm.World
+	ws     []*obl1dWS
+}
+
+// obl1dWS is one rank's reusable broadcast-staging workspace.
+type obl1dWS struct {
+	recv []float64
+	hj   dense.Matrix
 }
 
 // NewOblivious1D partitions aT (the global n×n sparse matrix, already
 // permuted if a partitioner was used) into P×P blocks for the given layout.
+// The per-block-row extraction runs in parallel across GOMAXPROCS workers.
 func NewOblivious1D(w *comm.World, aT *sparse.CSR, layout Layout) *Oblivious1D {
 	if layout.Blocks() != w.P {
 		panic(fmt.Sprintf("distmm: layout has %d blocks for %d ranks", layout.Blocks(), w.P))
@@ -47,8 +75,8 @@ func NewOblivious1D(w *comm.World, aT *sparse.CSR, layout Layout) *Oblivious1D {
 	if layout.N() != aT.NumRows || aT.NumRows != aT.NumCols {
 		panic(fmt.Sprintf("distmm: matrix %dx%d does not match layout n=%d", aT.NumRows, aT.NumCols, layout.N()))
 	}
-	e := &Oblivious1D{layout: layout, world: w, blocks: make([][]*sparse.CSR, w.P)}
-	for i := 0; i < w.P; i++ {
+	e := &Oblivious1D{layout: layout, world: w, blocks: make([][]*sparse.CSR, w.P), ws: newObl1dWS(w.P)}
+	parallelBlocks(w.P, func(i int) {
 		rlo, rhi := layout.Range(i)
 		e.blocks[i] = make([]*sparse.CSR, w.P)
 		rowBlock := aT.RowBlock(rlo, rhi)
@@ -56,8 +84,16 @@ func NewOblivious1D(w *comm.World, aT *sparse.CSR, layout Layout) *Oblivious1D {
 			clo, chi := layout.Range(j)
 			e.blocks[i][j] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
 		}
-	}
+	})
 	return e
+}
+
+func newObl1dWS(p int) []*obl1dWS {
+	ws := make([]*obl1dWS, p)
+	for i := range ws {
+		ws[i] = &obl1dWS{}
+	}
+	return ws
 }
 
 // Name implements Engine.
@@ -72,28 +108,35 @@ func (e *Oblivious1D) BlockOf(rank int) int { return rank }
 // GradGroup implements Engine.
 func (e *Oblivious1D) GradGroup(rank int) *comm.Group { return e.world.WorldGroup() }
 
-// Multiply implements Engine: P broadcasts, one per block row of H, each
-// followed by a local SpMM with the matching column block.
+// Multiply implements Engine.
 func (e *Oblivious1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	out := dense.New(e.layout.Count(r.ID), hLocal.Cols)
+	e.MultiplyInto(r, hLocal, out)
+	return out
+}
+
+// MultiplyInto implements Engine: P broadcasts, one per block row of H, each
+// followed by a local SpMM with the matching column block. The broadcast
+// payload lands in a per-rank reusable staging buffer.
+func (e *Oblivious1D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
 	me := r.ID
 	f := hLocal.Cols
-	if hLocal.Rows != e.layout.Count(me) {
-		panic(fmt.Sprintf("distmm: rank %d got %d H rows, owns %d", me, hLocal.Rows, e.layout.Count(me)))
-	}
+	checkMultiplyShapes(me, e.layout.Count(me), hLocal, out)
+	ws := e.ws[me]
 	g := e.world.WorldGroup()
-	z := dense.New(e.layout.Count(me), f)
+	out.Zero()
 	for j := 0; j < e.world.P; j++ {
 		var payload []float64
 		if j == me {
 			payload = hLocal.Data
 		}
-		data := g.BcastFloats(r, j, payload, "bcast")
-		hj := dense.FromSlice(e.layout.Count(j), f, data)
+		rows := e.layout.Count(j)
+		data := g.BcastFloatsInto(r, j, payload, growFloats(&ws.recv, rows*f), "bcast")
+		hj := asMatrix(&ws.hj, rows, f, data)
 		blk := e.blocks[me][j]
-		blk.SpMMAddInto(z, hj)
+		blk.SpMMAddInto(out, hj)
 		r.ChargeCompute("local", e.world.Params.SpMMTime(blk.Flops(f)))
 	}
-	return z
 }
 
 // SparsityAware1D is the paper's Algorithm 1. During setup each block
@@ -114,11 +157,23 @@ type SparsityAware1D struct {
 	// diag[i] is the diagonal block A^T_{ii}, multiplied against the local
 	// H block directly.
 	diag []*sparse.CSR
+	ws   []*sa1dWS
 }
 
-// NewSparsityAware1D computes the NnzCols structure for every block pair.
-// The paper performs this as a cheap preprocessing step excluded from
-// training time; here it is computed directly from the global matrix.
+// sa1dWS is one rank's reusable all-to-allv workspace: pack buffers for the
+// rows each peer requested and landing buffers for the rows received.
+type sa1dWS struct {
+	send     [][]float64 // send[j] points into sendBufs[j] (or nil)
+	sendBufs [][]float64
+	recv     [][]float64 // recv[j] points into recvBufs[j]
+	recvBufs [][]float64
+	hj       dense.Matrix
+}
+
+// NewSparsityAware1D computes the NnzCols structure for every block pair,
+// parallelized across block rows. The paper performs this as a cheap
+// preprocessing step excluded from training time; here it is computed
+// directly from the global matrix.
 func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) *SparsityAware1D {
 	if layout.Blocks() != w.P {
 		panic(fmt.Sprintf("distmm: layout has %d blocks for %d ranks", layout.Blocks(), w.P))
@@ -134,8 +189,9 @@ func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) *SparsityA
 		sendIdx: make([][][]int, p),
 		compact: make([][]*sparse.CSR, p),
 		diag:    make([]*sparse.CSR, p),
+		ws:      newSA1DWS(p),
 	}
-	for i := 0; i < p; i++ {
+	parallelBlocks(p, func(i int) {
 		rlo, rhi := layout.Range(i)
 		rowBlock := aT.RowBlock(rlo, rhi)
 		e.recvIdx[i] = make([][]int, p)
@@ -158,7 +214,7 @@ func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) *SparsityA
 			}
 			e.compact[i][j] = blk.RelabelCols(remap, len(nnzCols))
 		}
-	}
+	})
 	for i := 0; i < p; i++ {
 		e.sendIdx[i] = make([][]int, p)
 		for j := 0; j < p; j++ {
@@ -168,6 +224,19 @@ func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) *SparsityA
 		}
 	}
 	return e
+}
+
+func newSA1DWS(p int) []*sa1dWS {
+	ws := make([]*sa1dWS, p)
+	for i := range ws {
+		ws[i] = &sa1dWS{
+			send:     make([][]float64, p),
+			sendBufs: make([][]float64, p),
+			recv:     make([][]float64, p),
+			recvBufs: make([][]float64, p),
+		}
+	}
+	return ws
 }
 
 // Name implements Engine.
@@ -182,19 +251,26 @@ func (e *SparsityAware1D) BlockOf(rank int) int { return rank }
 // GradGroup implements Engine.
 func (e *SparsityAware1D) GradGroup(rank int) *comm.Group { return e.world.WorldGroup() }
 
-// Multiply implements Engine: pack requested rows, one all-to-allv, then a
-// compact SpMM per source block plus the diagonal block.
+// Multiply implements Engine.
 func (e *SparsityAware1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	out := dense.New(e.layout.Count(r.ID), hLocal.Cols)
+	e.MultiplyInto(r, hLocal, out)
+	return out
+}
+
+// MultiplyInto implements Engine: pack requested rows into per-peer reusable
+// buffers, one all-to-allv into reusable landing buffers, then a compact
+// SpMM per source block plus the diagonal block.
+func (e *SparsityAware1D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
 	me := r.ID
 	f := hLocal.Cols
-	if hLocal.Rows != e.layout.Count(me) {
-		panic(fmt.Sprintf("distmm: rank %d got %d H rows, owns %d", me, hLocal.Rows, e.layout.Count(me)))
-	}
+	checkMultiplyShapes(me, e.layout.Count(me), hLocal, out)
 	p := e.world.P
 	g := e.world.WorldGroup()
-	send := make([][]float64, p)
+	ws := e.ws[me]
 	var packedElems int64
 	for j := 0; j < p; j++ {
+		ws.send[j] = nil
 		if j == me {
 			continue
 		}
@@ -202,19 +278,27 @@ func (e *SparsityAware1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Ma
 		if len(idx) == 0 {
 			continue
 		}
-		buf := hLocal.GatherRows(idx)
-		send[j] = buf.Data
-		packedElems += int64(len(buf.Data))
+		buf := growFloats(&ws.sendBufs[j], len(idx)*f)
+		hLocal.GatherRowsInto(buf, idx)
+		ws.send[j] = buf
+		packedElems += int64(len(buf))
 	}
 	// Packing the requested rows into send buffers is the extra local work
 	// sparsity-aware communication introduces (visible as the larger
 	// "local" bars in the paper's Figure 4 breakdown).
 	r.ChargeCompute("local", e.world.Params.CopyTime(packedElems*machine.BytesPerElem))
 
-	recv := g.AllToAllv(r, send, "alltoall")
+	for j := 0; j < p; j++ {
+		rows := 0
+		if j != me {
+			rows = len(e.recvIdx[me][j])
+		}
+		ws.recv[j] = growFloats(&ws.recvBufs[j], rows*f)
+	}
+	recv := g.AllToAllvInto(r, ws.send, ws.recv, "alltoall")
 
-	z := dense.New(e.layout.Count(me), f)
-	e.diag[me].SpMMAddInto(z, hLocal)
+	out.Zero()
+	e.diag[me].SpMMAddInto(out, hLocal)
 	r.ChargeCompute("local", e.world.Params.SpMMTime(e.diag[me].Flops(f)))
 	var unpackedElems int64
 	for j := 0; j < p; j++ {
@@ -222,15 +306,11 @@ func (e *SparsityAware1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Ma
 			continue
 		}
 		rows := len(e.recvIdx[me][j])
-		if len(recv[j]) != rows*f {
-			panic(fmt.Sprintf("distmm: rank %d expected %d elems from %d, got %d", me, rows*f, j, len(recv[j])))
-		}
-		hj := dense.FromSlice(rows, f, recv[j])
+		hj := asMatrix(&ws.hj, rows, f, recv[j])
 		blk := e.compact[me][j]
-		blk.SpMMAddInto(z, hj)
+		blk.SpMMAddInto(out, hj)
 		unpackedElems += int64(rows * f)
 		r.ChargeCompute("local", e.world.Params.SpMMTime(blk.Flops(f)))
 	}
 	r.ChargeCompute("local", e.world.Params.CopyTime(unpackedElems*machine.BytesPerElem))
-	return z
 }

@@ -59,6 +59,23 @@ func (g *Grid) ColOf(rank int) int { return rank % g.C }
 // Stages returns s = P/c², the number of SpMM stages per process.
 func (g *Grid) Stages() int { return g.Rows / g.C }
 
+// grid15dWS is one rank's reusable 1.5D workspace: the partial-sum block,
+// the staging buffer for incoming H rows, and a reusable matrix header.
+type grid15dWS struct {
+	zhat []float64
+	recv []float64
+	zh   dense.Matrix
+	hq   dense.Matrix
+}
+
+func newGrid15dWS(p int) []*grid15dWS {
+	ws := make([]*grid15dWS, p)
+	for i := range ws {
+		ws[i] = &grid15dWS{}
+	}
+	return ws
+}
+
 // Oblivious15D is the sparsity-oblivious 1.5D algorithm: at each stage the
 // owner broadcasts an entire H block down its process column; partial sums
 // are combined with an all-reduce across each process row.
@@ -68,9 +85,11 @@ type Oblivious15D struct {
 	// blocks[i][q] = A^T_{iq} for block row i (replicated per column, the
 	// engine indexes by block row).
 	blocks [][]*sparse.CSR
+	ws     []*grid15dWS
 }
 
-// NewOblivious15D splits aT into (P/c)² blocks.
+// NewOblivious15D splits aT into (P/c)² blocks, parallelized across block
+// rows.
 func NewOblivious15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *Oblivious15D {
 	grid := NewGrid(w, c)
 	if layout.Blocks() != grid.Rows {
@@ -79,8 +98,8 @@ func NewOblivious15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *Obliv
 	if layout.N() != aT.NumRows {
 		panic("distmm: layout does not match matrix")
 	}
-	e := &Oblivious15D{grid: grid, layout: layout, blocks: make([][]*sparse.CSR, grid.Rows)}
-	for i := 0; i < grid.Rows; i++ {
+	e := &Oblivious15D{grid: grid, layout: layout, blocks: make([][]*sparse.CSR, grid.Rows), ws: newGrid15dWS(w.P)}
+	parallelBlocks(grid.Rows, func(i int) {
 		rlo, rhi := layout.Range(i)
 		rowBlock := aT.RowBlock(rlo, rhi)
 		e.blocks[i] = make([]*sparse.CSR, grid.Rows)
@@ -88,7 +107,7 @@ func NewOblivious15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *Obliv
 			clo, chi := layout.Range(q)
 			e.blocks[i][q] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
 		}
-	}
+	})
 	return e
 }
 
@@ -109,33 +128,41 @@ func (e *Oblivious15D) GradGroup(rank int) *comm.Group {
 	return e.grid.colGroups[e.grid.ColOf(rank)]
 }
 
-// Multiply implements Engine. Every rank in a process row returns the same
-// replicated Z block.
+// Multiply implements Engine.
 func (e *Oblivious15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	out := dense.New(e.layout.Count(e.BlockOf(r.ID)), hLocal.Cols)
+	e.MultiplyInto(r, hLocal, out)
+	return out
+}
+
+// MultiplyInto implements Engine. Every rank in a process row returns the
+// same replicated Z block; partial sums accumulate in a reusable workspace
+// and the all-reduce lands directly in out.
+func (e *Oblivious15D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
 	grid := e.grid
 	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
 	f := hLocal.Cols
-	if hLocal.Rows != e.layout.Count(i) {
-		panic(fmt.Sprintf("distmm: rank %d got %d H rows, block row %d owns %d", r.ID, hLocal.Rows, i, e.layout.Count(i)))
-	}
+	checkMultiplyShapes(r.ID, e.layout.Count(i), hLocal, out)
+	ws := e.ws[r.ID]
 	s := grid.Stages()
 	col := grid.colGroups[j]
-	zHat := dense.New(e.layout.Count(i), f)
+	zHat := asMatrix(&ws.zh, e.layout.Count(i), f, growFloats(&ws.zhat, e.layout.Count(i)*f))
+	zHat.Zero()
 	for k := 0; k < s; k++ {
 		q := j*s + k
 		var payload []float64
 		if q == i {
 			payload = hLocal.Data
 		}
-		data := col.BcastFloats(r, q, payload, "bcast")
-		hq := dense.FromSlice(e.layout.Count(q), f, data)
+		rows := e.layout.Count(q)
+		data := col.BcastFloatsInto(r, q, payload, growFloats(&ws.recv, rows*f), "bcast")
+		hq := asMatrix(&ws.hq, rows, f, data)
 		blk := e.blocks[i][q]
 		blk.SpMMAddInto(zHat, hq)
 		r.ChargeCompute("local", e.grid.world.Params.SpMMTime(blk.Flops(f)))
 	}
 	row := grid.rowGroups[i]
-	data := row.AllReduceSum(r, zHat.Data, "allreduce")
-	return dense.FromSlice(zHat.Rows, f, data)
+	row.AllReduceSumInto(r, zHat.Data, out.Data, "allreduce")
 }
 
 // SparsityAware15D is the paper's Algorithm 2: the same staged 1.5D
@@ -150,9 +177,11 @@ type SparsityAware15D struct {
 	compact [][]*sparse.CSR
 	// diag[i] = A^T_{ii} kept at full block width for the local stage.
 	diag []*sparse.CSR
+	ws   []*grid15dWS
 }
 
-// NewSparsityAware15D computes the NnzCols structure for the 1.5D layout.
+// NewSparsityAware15D computes the NnzCols structure for the 1.5D layout,
+// parallelized across block rows.
 func NewSparsityAware15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *SparsityAware15D {
 	grid := NewGrid(w, c)
 	if layout.Blocks() != grid.Rows {
@@ -167,8 +196,9 @@ func NewSparsityAware15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *S
 		recvIdx: make([][][]int, grid.Rows),
 		compact: make([][]*sparse.CSR, grid.Rows),
 		diag:    make([]*sparse.CSR, grid.Rows),
+		ws:      newGrid15dWS(w.P),
 	}
-	for i := 0; i < grid.Rows; i++ {
+	parallelBlocks(grid.Rows, func(i int) {
 		rlo, rhi := layout.Range(i)
 		rowBlock := aT.RowBlock(rlo, rhi)
 		e.recvIdx[i] = make([][]int, grid.Rows)
@@ -191,7 +221,7 @@ func NewSparsityAware15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *S
 			}
 			e.compact[i][q] = blk.RelabelCols(remap, len(nnzCols))
 		}
-	}
+	})
 	return e
 }
 
@@ -212,19 +242,28 @@ func (e *SparsityAware15D) GradGroup(rank int) *comm.Group {
 	return e.grid.colGroups[e.grid.ColOf(rank)]
 }
 
-// Multiply implements Engine following Algorithm 2: for each stage k the
-// owner P(q,j) Isends the requested rows to every member of its process
-// column; each member Recvs, multiplies its compact block, and finally the
-// partial sums are all-reduced across the process row.
+// Multiply implements Engine.
 func (e *SparsityAware15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	out := dense.New(e.layout.Count(e.BlockOf(r.ID)), hLocal.Cols)
+	e.MultiplyInto(r, hLocal, out)
+	return out
+}
+
+// MultiplyInto implements Engine following Algorithm 2: for each stage k the
+// owner P(q,j) packs the requested rows into a pooled buffer and hands it
+// off zero-copy (SendOwned) to every member of its process column; each
+// member receives into its reusable staging buffer (RecvInto recycles the
+// transport buffer), multiplies its compact block, and finally the partial
+// sums are all-reduced across the process row directly into out.
+func (e *SparsityAware15D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
 	grid := e.grid
 	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
 	f := hLocal.Cols
-	if hLocal.Rows != e.layout.Count(i) {
-		panic(fmt.Sprintf("distmm: rank %d got %d H rows, block row %d owns %d", r.ID, hLocal.Rows, i, e.layout.Count(i)))
-	}
+	checkMultiplyShapes(r.ID, e.layout.Count(i), hLocal, out)
+	ws := e.ws[r.ID]
 	s := grid.Stages()
-	zHat := dense.New(e.layout.Count(i), f)
+	zHat := asMatrix(&ws.zh, e.layout.Count(i), f, growFloats(&ws.zhat, e.layout.Count(i)*f))
+	zHat.Zero()
 	for k := 0; k < s; k++ {
 		q := j*s + k
 		if q == i {
@@ -238,12 +277,13 @@ func (e *SparsityAware15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.M
 				idx := e.recvIdx[l][q]
 				dst := l*grid.C + j
 				if len(idx) == 0 {
-					r.Send(dst, k, nil, "alltoall")
+					r.SendOwned(dst, k, nil, "alltoall")
 					continue
 				}
-				buf := hLocal.GatherRows(idx)
-				packedElems += int64(len(buf.Data))
-				r.Send(dst, k, buf.Data, "alltoall")
+				buf := r.GetFloats(len(idx) * f)
+				hLocal.GatherRowsInto(buf, idx)
+				packedElems += int64(len(buf))
+				r.SendOwned(dst, k, buf, "alltoall")
 			}
 			r.ChargeCompute("local", grid.world.Params.CopyTime(packedElems*machine.BytesPerElem))
 			blk := e.diag[i]
@@ -252,13 +292,11 @@ func (e *SparsityAware15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.M
 			continue
 		}
 		src := q*grid.C + j
-		data := r.Recv(src, k, "alltoall")
 		rows := len(e.recvIdx[i][q])
-		if len(data) != rows*f {
-			panic(fmt.Sprintf("distmm: rank %d stage %d expected %d elems, got %d", r.ID, k, rows*f, len(data)))
-		}
+		data := growFloats(&ws.recv, rows*f)
+		r.RecvInto(src, k, data, "alltoall")
 		if rows > 0 {
-			hq := dense.FromSlice(rows, f, data)
+			hq := asMatrix(&ws.hq, rows, f, data)
 			blk := e.compact[i][q]
 			blk.SpMMAddInto(zHat, hq)
 			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
@@ -269,6 +307,5 @@ func (e *SparsityAware15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.M
 	// q ranges do not include row i still sent nothing to us, so no drain is
 	// needed — the stage schedule is a perfect matching.
 	row := grid.rowGroups[i]
-	data := row.AllReduceSum(r, zHat.Data, "allreduce")
-	return dense.FromSlice(zHat.Rows, f, data)
+	row.AllReduceSumInto(r, zHat.Data, out.Data, "allreduce")
 }

@@ -52,9 +52,85 @@ func NewDistributed(w *comm.World, e distmm.Engine, x *dense.Matrix, labels []in
 	return &Distributed{World: w, Engine: e, X: x, Labels: labels, Train: train, Dims: dims, LR: lr, Seed: seed}
 }
 
+// rankWorkspace holds one rank's epoch-persistent training buffers. All
+// shapes are fixed by (local rows, layer dims, variant), so every epoch of
+// TrainEpochs reuses the same matrices and the steady-state loop performs
+// no per-epoch allocations.
+type rankWorkspace struct {
+	hs  []*dense.Matrix // hs[0] = xLocal; hs[L] aliases zs[L]
+	zs  []*dense.Matrix // pre-activations
+	ps  []*dense.Matrix // GEMM inputs; aliases agg for GCNConv
+	agg []*dense.Matrix // Â·H^{l-1} landing blocks
+
+	probs *dense.Matrix
+	g     []*dense.Matrix // g[l] = ∂L/∂Z^l
+	ag    []*dense.Matrix // GCNConv: Â·G^l buffers
+	dc    []*dense.Matrix // SAGEConv: G^l (W^l)ᵀ buffers
+	dp    []*dense.Matrix // SAGEConv: aggregated-path split
+	dself []*dense.Matrix // SAGEConv: self-path split
+	deriv []*dense.Matrix // σ′(Z^l) buffers, l = 1..L-1
+
+	yl    []*dense.Matrix // local weight-gradient partials
+	grads []*dense.Matrix // all-reduced weight gradients
+
+	red, redOut [2]float64 // loss/accuracy reduction staging
+}
+
+// newRankWorkspace preallocates every buffer one rank's training loop needs.
+func newRankWorkspace(rows int, dims []int, model *Model, variant Variant) *rankWorkspace {
+	L := model.Layers()
+	sage := variant == SAGEConv
+	ws := &rankWorkspace{
+		hs:    make([]*dense.Matrix, L+1),
+		zs:    make([]*dense.Matrix, L+1),
+		ps:    make([]*dense.Matrix, L+1),
+		agg:   make([]*dense.Matrix, L+1),
+		probs: dense.New(rows, dims[L]),
+		g:     make([]*dense.Matrix, L+1),
+		ag:    make([]*dense.Matrix, L+1),
+		dc:    make([]*dense.Matrix, L+1),
+		dp:    make([]*dense.Matrix, L+1),
+		dself: make([]*dense.Matrix, L+1),
+		deriv: make([]*dense.Matrix, L),
+		yl:    make([]*dense.Matrix, L),
+		grads: make([]*dense.Matrix, L),
+	}
+	for l := 1; l <= L; l++ {
+		ws.agg[l] = dense.New(rows, dims[l-1])
+		if sage {
+			ws.ps[l] = dense.New(rows, 2*dims[l-1])
+		} else {
+			ws.ps[l] = ws.agg[l]
+		}
+		ws.zs[l] = dense.New(rows, dims[l])
+		if l < L {
+			ws.hs[l] = dense.New(rows, dims[l])
+		} else {
+			ws.hs[l] = ws.zs[l]
+		}
+		ws.g[l] = dense.New(rows, dims[l])
+		w := model.Weights[l-1]
+		ws.yl[l-1] = dense.New(w.Rows, w.Cols)
+		ws.grads[l-1] = dense.New(w.Rows, w.Cols)
+	}
+	for l := 2; l <= L; l++ {
+		if sage {
+			ws.dc[l] = dense.New(rows, 2*dims[l-1])
+			ws.dp[l] = dense.New(rows, dims[l-1])
+			ws.dself[l] = dense.New(rows, dims[l-1])
+		} else {
+			ws.ag[l] = dense.New(rows, dims[l])
+		}
+		ws.deriv[l-1] = dense.New(rows, dims[l-1])
+	}
+	return ws
+}
+
 // TrainEpochs runs full-batch training for the given number of epochs
 // across all ranks and returns the per-epoch loss/accuracy trajectory
-// (identical on every rank; recorded once).
+// (identical on every rank; recorded once). Each rank builds its workspace
+// once; the per-epoch loop then runs allocation-free through the *Into
+// kernels and pooled collectives.
 func (d *Distributed) TrainEpochs(epochs int) []EpochResult {
 	results := make([]EpochResult, epochs)
 	lay := d.Engine.Layout()
@@ -79,36 +155,32 @@ func (d *Distributed) TrainEpochs(epochs int) []EpochResult {
 		} else {
 			optimizer = &opt.SGD{LR: d.LR}
 		}
+		sage := d.Variant == SAGEConv
+		ws := newRankWorkspace(hi-lo, d.Dims, model, d.Variant)
+		ws.hs[0] = xLocal
 
 		for e := 0; e < epochs; e++ {
 			// Forward.
-			hs := make([]*dense.Matrix, L+1)
-			zs := make([]*dense.Matrix, L+1)
-			ps := make([]*dense.Matrix, L+1)
-			hs[0] = xLocal
 			for l := 1; l <= L; l++ {
-				agg := d.Engine.Multiply(r, hs[l-1])
-				if d.Variant == SAGEConv {
-					ps[l] = dense.HStack(agg, hs[l-1])
-				} else {
-					ps[l] = agg
+				d.Engine.MultiplyInto(r, ws.hs[l-1], ws.agg[l])
+				if sage {
+					dense.HStackInto(ws.ps[l], ws.agg[l], ws.hs[l-1])
 				}
 				w := model.Weights[l-1]
-				zs[l] = dense.MatMul(ps[l], w)
-				r.ChargeCompute("local", params.GEMMTime(2*int64(ps[l].Rows)*int64(w.Rows)*int64(w.Cols)))
+				dense.MatMulInto(ws.zs[l], ws.ps[l], w)
+				r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ps[l].Rows)*int64(w.Rows)*int64(w.Cols)))
 				if l < L {
-					h := zs[l].Clone()
-					h.ReLU()
-					hs[l] = h
-				} else {
-					hs[l] = zs[l]
+					ws.hs[l].CopyFrom(ws.zs[l])
+					ws.hs[l].ReLU()
 				}
 			}
 
 			// Loss and output gradient on local rows, globally scaled.
-			probs := hs[L].Clone()
+			probs := ws.probs
+			probs.CopyFrom(ws.hs[L])
 			dense.SoftmaxRows(probs)
-			g := dense.New(probs.Rows, probs.Cols)
+			g := ws.g[L]
+			g.Zero()
 			localLoss, localCorrect := 0.0, 0.0
 			for _, i := range localTrain {
 				row := probs.Row(i)
@@ -131,35 +203,37 @@ func (d *Distributed) TrainEpochs(epochs int) []EpochResult {
 					localCorrect++
 				}
 			}
-			red := gg.AllReduceSum(r, []float64{localLoss, localCorrect}, "allreduce")
-			loss := red[0] / nTrain
-			acc := red[1] / nTrain
+			ws.red[0], ws.red[1] = localLoss, localCorrect
+			gg.AllReduceSumInto(r, ws.red[:], ws.redOut[:], "allreduce")
+			loss := ws.redOut[0] / nTrain
+			acc := ws.redOut[1] / nTrain
 
 			// Backward.
-			grads := make([]*dense.Matrix, L)
 			for l := L; l >= 1; l-- {
-				yl := dense.MatMulTransA(ps[l], g)
-				r.ChargeCompute("local", params.GEMMTime(2*int64(ps[l].Rows)*int64(yl.Rows)*int64(yl.Cols)))
-				sum := gg.AllReduceSum(r, yl.Data, "allreduce")
-				grads[l-1] = dense.FromSlice(yl.Rows, yl.Cols, sum)
+				yl := ws.yl[l-1]
+				dense.MatMulTransAInto(yl, ws.ps[l], g)
+				r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ps[l].Rows)*int64(yl.Rows)*int64(yl.Cols)))
+				gg.AllReduceSumInto(r, yl.Data, ws.grads[l-1].Data, "allreduce")
 				if l == 1 {
 					break
 				}
 				w := model.Weights[l-1]
-				if d.Variant == SAGEConv {
-					dc := dense.MatMulTransB(g, w)
+				if sage {
+					dense.MatMulTransBInto(ws.dc[l], g, w)
 					r.ChargeCompute("local", params.GEMMTime(2*int64(g.Rows)*int64(w.Cols)*int64(w.Rows)))
-					dp, dself := dc.SplitCols(w.Rows / 2)
-					g = d.Engine.Multiply(r, dp)
-					g.Add(dself)
+					ws.dc[l].SplitColsInto(ws.dp[l], ws.dself[l])
+					d.Engine.MultiplyInto(r, ws.dp[l], ws.g[l-1])
+					ws.g[l-1].Add(ws.dself[l])
 				} else {
-					ag := d.Engine.Multiply(r, g)
-					g = dense.MatMulTransB(ag, w)
-					r.ChargeCompute("local", params.GEMMTime(2*int64(ag.Rows)*int64(w.Cols)*int64(w.Rows)))
+					d.Engine.MultiplyInto(r, g, ws.ag[l])
+					dense.MatMulTransBInto(ws.g[l-1], ws.ag[l], w)
+					r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ag[l].Rows)*int64(w.Cols)*int64(w.Rows)))
 				}
-				g.Hadamard(zs[l-1].ReLUDeriv())
+				ws.zs[l-1].ReLUDerivInto(ws.deriv[l-1])
+				ws.g[l-1].Hadamard(ws.deriv[l-1])
+				g = ws.g[l-1]
 			}
-			optimizer.Step(model.Weights, grads)
+			optimizer.Step(model.Weights, ws.grads)
 			if r.ID == 0 {
 				results[e] = EpochResult{Epoch: e, Loss: loss, TrainAcc: acc}
 			}

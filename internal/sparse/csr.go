@@ -287,6 +287,13 @@ func (m *CSR) SpMM(h *dense.Matrix) *dense.Matrix {
 	return out
 }
 
+// SpMMInto computes out = m × h, overwriting out — the allocation-free form
+// of SpMM for preallocated workspaces.
+func (m *CSR) SpMMInto(out, h *dense.Matrix) {
+	out.Zero()
+	m.SpMMAddInto(out, h)
+}
+
 // SpMMAddInto computes out += m × h. out must be m.NumRows × h.Cols.
 func (m *CSR) SpMMAddInto(out, h *dense.Matrix) {
 	if m.NumCols != h.Rows {
