@@ -1,0 +1,224 @@
+package sagnn
+
+import (
+	"fmt"
+	"sync"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/distmm"
+	"sagnn/internal/gcn"
+	"sagnn/internal/machine"
+	"sagnn/internal/partition"
+	"sagnn/internal/sparse"
+)
+
+// MachineParams is the α–β machine model (link latency/bandwidth and
+// effective compute rates) that a cluster charges modeled time against.
+// Perlmutter() is the paper's machine and the default.
+type MachineParams = machine.Params
+
+// Perlmutter returns the paper's machine model (A100 + Slingshot).
+func Perlmutter() MachineParams { return machine.Perlmutter() }
+
+// ClusterOption customises NewCluster.
+type ClusterOption func(*clusterOptions)
+
+type clusterOptions struct {
+	params MachineParams
+}
+
+// WithMachine selects the machine model the cluster charges modeled
+// communication and compute time against. Defaults to Perlmutter().
+func WithMachine(p MachineParams) ClusterOption {
+	return func(o *clusterOptions) { o.params = p }
+}
+
+// Cluster owns the simulated communication world and machine model for a
+// fixed process count. It is the build-once root of the composable API:
+//
+//	cluster → Distribute (partition + engine, reusable) → NewSession
+//	(steppable training) → Predictor (serving).
+//
+// A cluster can host any number of distributed graphs and sessions.
+// Communication time and volume accumulate in ledgers shared cluster-wide;
+// sessions measure their own traffic step by step under the cluster's step
+// lock, so per-run figures stay correct — with no ledger resets — even when
+// several sessions (on the same or different DistGraphs) interleave runs.
+type Cluster struct {
+	p     int
+	world *comm.World
+
+	// mu serializes collective training steps (and reads of live session
+	// models) across everything built on this cluster: engines' per-rank
+	// workspaces are shared per DistGraph, and per-step ledger attribution
+	// requires that exactly one session is mid-step at a time.
+	mu sync.Mutex
+}
+
+// NewCluster creates a simulated cluster of p processes (GPUs in the
+// paper's terms).
+func NewCluster(p int, opts ...ClusterOption) (*Cluster, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("sagnn: cluster needs at least 1 process, got %d", p)
+	}
+	o := clusterOptions{params: machine.Perlmutter()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Cluster{p: p, world: comm.NewWorld(p, o.params)}, nil
+}
+
+// Processes returns the cluster's process count.
+func (c *Cluster) Processes() int { return c.p }
+
+// DistOpts configures how a dataset is distributed across a cluster.
+type DistOpts struct {
+	// Algorithm selects the distributed SpMM engine. Required.
+	Algorithm Algorithm
+	// Replication is the 1.5D replication factor c (default 1, which the
+	// 1D algorithms require). Must satisfy c | P and c² | P.
+	Replication int
+	// Partitioner, if non-nil, reorders the graph before distribution and
+	// records the resulting partition quality on the DistGraph.
+	Partitioner Partitioner
+}
+
+// DistGraph is a dataset distributed across a cluster: the permuted
+// normalized adjacency, relabeled features/labels/splits, the block-row
+// layout, and the communication engine with its sparsity-aware schedule.
+//
+// Building a DistGraph is the expensive, amortizable step the paper
+// identifies (partitioning plus NnzCols schedule construction); once built
+// it can back any number of training sessions — different seeds, model
+// shapes, or GNN variants — without repeating that work.
+type DistGraph struct {
+	cluster *Cluster
+	ds      *Dataset
+	opts    DistOpts
+
+	aHat             *sparse.CSR
+	x                *dense.Matrix
+	labels           []int
+	train, val, test []int
+	layout           distmm.Layout
+	engine           distmm.Engine
+	quality          *partition.Quality
+}
+
+// Distribute partitions (optionally) and distributes a dataset across the
+// cluster, building the communication engine once for reuse by any number
+// of sessions.
+func (c *Cluster) Distribute(ds *Dataset, opts DistOpts) (*DistGraph, error) {
+	if err := validateDataset(ds); err != nil {
+		return nil, err
+	}
+	if opts.Replication == 0 {
+		opts.Replication = 1
+	}
+	rep := opts.Replication
+	switch opts.Algorithm {
+	case Oblivious1D, SparsityAware1D:
+		if rep != 1 {
+			return nil, fmt.Errorf("sagnn: %s is a 1D algorithm; replication must be 1, got %d", opts.Algorithm, rep)
+		}
+	case Oblivious15D, SparsityAware15D:
+		if rep < 1 || c.p%rep != 0 {
+			return nil, fmt.Errorf("sagnn: replication factor %d does not divide %d processes", rep, c.p)
+		}
+		if (c.p/rep)%rep != 0 {
+			return nil, fmt.Errorf("sagnn: 1.5D needs c² | P; got P=%d c=%d", c.p, rep)
+		}
+	default:
+		return nil, fmt.Errorf("sagnn: unknown algorithm %q", opts.Algorithm)
+	}
+	k := c.p / rep
+	if ds.G.NumVertices() < k {
+		return nil, fmt.Errorf("sagnn: %d vertices cannot fill %d blocks", ds.G.NumVertices(), k)
+	}
+
+	aHat := ds.G.NormalizedAdjacency()
+	x, labels := ds.Features, ds.Labels
+	train, val, test := ds.Train, ds.Val, ds.Test
+	var layout distmm.Layout
+	var quality *partition.Quality
+	if opts.Partitioner != nil {
+		part := opts.Partitioner.Partition(ds.G, k)
+		q := partition.Evaluate(opts.Partitioner.Name(), ds.G, part)
+		quality = &q
+		perm := part.Perm()
+		aHat = aHat.PermuteSymmetric(perm)
+		var sets [][]int
+		x, labels, sets = gcn.ApplyPerm(perm, x, labels, train, val, test)
+		train, val, test = sets[0], sets[1], sets[2]
+		layout = distmm.LayoutFromOffsets(part.Offsets())
+	} else {
+		layout = distmm.UniformLayout(ds.G.NumVertices(), k)
+	}
+
+	var engine distmm.Engine
+	switch opts.Algorithm {
+	case Oblivious1D:
+		engine = distmm.NewOblivious1D(c.world, aHat, layout)
+	case SparsityAware1D:
+		engine = distmm.NewSparsityAware1D(c.world, aHat, layout)
+	case Oblivious15D:
+		engine = distmm.NewOblivious15D(c.world, aHat, rep, layout)
+	case SparsityAware15D:
+		engine = distmm.NewSparsityAware15D(c.world, aHat, rep, layout)
+	}
+
+	return &DistGraph{
+		cluster: c,
+		ds:      ds,
+		opts:    opts,
+		aHat:    aHat,
+		x:       x,
+		labels:  labels,
+		train:   train,
+		val:     val,
+		test:    test,
+		layout:  layout,
+		engine:  engine,
+		quality: quality,
+	}, nil
+}
+
+// Cluster returns the cluster this graph is distributed over.
+func (g *DistGraph) Cluster() *Cluster { return g.cluster }
+
+// Dataset returns the original (un-permuted) dataset.
+func (g *DistGraph) Dataset() *Dataset { return g.ds }
+
+// Algorithm returns the distributed SpMM algorithm in use.
+func (g *DistGraph) Algorithm() Algorithm { return g.opts.Algorithm }
+
+// PartitionQuality describes the partition when a Partitioner ran, else nil.
+func (g *DistGraph) PartitionQuality() *partition.Quality { return g.quality }
+
+// validateDataset checks the invariants every public entry point relies on,
+// converting what used to be internal panics into errors.
+func validateDataset(ds *Dataset) error {
+	switch {
+	case ds == nil:
+		return fmt.Errorf("sagnn: dataset is nil")
+	case ds.G == nil:
+		return fmt.Errorf("sagnn: dataset %q has no graph", ds.Name)
+	case ds.Features == nil:
+		return fmt.Errorf("sagnn: dataset %q has no features", ds.Name)
+	case ds.Features.Rows != ds.G.NumVertices():
+		return fmt.Errorf("sagnn: dataset %q has %d feature rows for %d vertices", ds.Name, ds.Features.Rows, ds.G.NumVertices())
+	case len(ds.Labels) != ds.G.NumVertices():
+		return fmt.Errorf("sagnn: dataset %q has %d labels for %d vertices", ds.Name, len(ds.Labels), ds.G.NumVertices())
+	case ds.Classes < 1:
+		return fmt.Errorf("sagnn: dataset %q has %d classes", ds.Name, ds.Classes)
+	}
+	for _, set := range [][]int{ds.Train, ds.Val, ds.Test} {
+		for _, v := range set {
+			if v < 0 || v >= ds.G.NumVertices() {
+				return fmt.Errorf("sagnn: dataset %q split references vertex %d of %d", ds.Name, v, ds.G.NumVertices())
+			}
+		}
+	}
+	return nil
+}

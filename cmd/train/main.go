@@ -1,6 +1,7 @@
 // Command train runs distributed full-batch GCN training on a dataset
-// preset and reports the loss trajectory, accuracy, and modeled
-// performance.
+// preset through the composable session API (Cluster → Distribute →
+// Session → Predictor) and reports the loss trajectory, accuracy, and
+// modeled performance.
 //
 // Usage:
 //
@@ -8,12 +9,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"sagnn"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
 
 func main() {
 	dataset := flag.String("dataset", "reddit-sim", "dataset preset")
@@ -31,8 +39,7 @@ func main() {
 
 	ds, err := sagnn.LoadDataset(sagnn.Preset(*dataset), *seed, *scaleDiv)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	fmt.Printf("dataset %s: %d vertices, %d edges, f=%d, %d classes\n",
 		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim(), ds.Classes)
@@ -48,8 +55,7 @@ func main() {
 	case *algo == "sa":
 		alg = sagnn.SparsityAware15D
 	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q (want oblivious or sa)\n", *algo)
-		os.Exit(2)
+		fatal(fmt.Errorf("unknown algorithm %q (want oblivious or sa)", *algo))
 	}
 
 	var part sagnn.Partitioner
@@ -64,34 +70,75 @@ func main() {
 	case "gvb":
 		part = sagnn.NewGVB(*seed)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown partitioner %q\n", *partitioner)
-		os.Exit(2)
+		fatal(fmt.Errorf("unknown partitioner %q", *partitioner))
 	}
 
-	res := sagnn.Train(sagnn.TrainConfig{
-		Dataset:     ds,
-		Processes:   *p,
-		Replication: *c,
+	// Build once: cluster, then the partitioned + scheduled distributed graph.
+	cluster, err := sagnn.NewCluster(*p)
+	if err != nil {
+		fatal(err)
+	}
+	dg, err := cluster.Distribute(ds, sagnn.DistOpts{
 		Algorithm:   alg,
+		Replication: *c,
 		Partitioner: part,
-		Epochs:      *epochs,
-		Hidden:      *hidden,
-		Layers:      *layers,
-		LR:          *lr,
-		Seed:        *seed,
 	})
+	if err != nil {
+		fatal(err)
+	}
 
-	for _, e := range res.History {
-		if e.Epoch%5 == 0 || e.Epoch == len(res.History)-1 {
+	// Train: a session with a progress callback.
+	sess, err := dg.NewSession(sagnn.ModelConfig{
+		Hidden: *hidden,
+		Layers: *layers,
+		LR:     *lr,
+		Seed:   *seed,
+	}, sagnn.WithEpochCallback(func(e sagnn.EpochResult) error {
+		if e.Epoch%5 == 0 || e.Epoch == *epochs-1 {
 			fmt.Printf("epoch %3d  loss %.4f  train acc %.3f\n", e.Epoch, e.Loss, e.TrainAcc)
 		}
+		return nil
+	}))
+	if err != nil {
+		fatal(err)
 	}
+	res, err := sess.Run(context.Background(), *epochs)
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("\nmodeled epoch time: %.5fs on %d GPUs (%s)\n", res.EpochSeconds, *p, alg)
-	for ph, t := range res.Breakdown {
-		fmt.Printf("  %-10s %.5fs\n", ph, t)
+	phases := make([]string, 0, len(res.Breakdown))
+	for ph := range res.Breakdown {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	for _, ph := range phases {
+		fmt.Printf("  %-10s %.5fs\n", ph, res.Breakdown[ph])
 	}
 	fmt.Printf("per-process send volume: avg %.2f MB, max %.2f MB per epoch\n", res.AvgSentMB, res.MaxSentMB)
+	fmt.Printf("val acc %.3f  test acc %.3f\n", res.ValAcc, res.TestAcc)
 	if q := res.PartitionQuality; q != nil {
 		fmt.Printf("partition: %s\n", q)
 	}
+
+	// Serve: classify a few vertices from the retained model.
+	pred := sess.Predictor()
+	n := 5
+	if ds.G.NumVertices() < n {
+		n = ds.G.NumVertices()
+	}
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = i
+	}
+	classes, err := pred.Predict(sample)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("predictor sample (vertex→class): ")
+	for i, v := range sample {
+		fmt.Printf("%d→%d ", v, classes[i])
+	}
+	fmt.Println()
 }

@@ -62,38 +62,142 @@ func GenerateCommunityDataset(name string, n, k, degIn, degOut, featureDim int,
 	}
 }
 
+// SerialResult reports a single-process reference training run.
+type SerialResult struct {
+	// History is the per-epoch loss/accuracy trajectory.
+	History []EpochResult
+	// Model is the trained weight set, ready for Predict or serialization.
+	Model *Model
+	// ValAcc / TestAcc evaluate the trained model on the held-out splits.
+	ValAcc  float64
+	TestAcc float64
+}
+
+// RunSerial trains the single-process reference model — the ground truth
+// the distributed sessions are tested against — under the same validated
+// ModelConfig conventions as the session API.
+func RunSerial(ds *Dataset, epochs int, cfg ModelConfig) (res *SerialResult, err error) {
+	if err := validateDataset(ds); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("sagnn: %d epochs", epochs)
+	}
+	defer recoverToError(&err)
+	dims := gcn.LayerDims(ds.FeatureDim(), cfg.Hidden, ds.Classes, cfg.Layers)
+	model := gcn.NewModelVariant(cfg.Seed, dims, cfg.variant())
+	s := gcn.NewSerial(ds.G.NormalizedAdjacency(), ds.Features, ds.Labels, ds.Train, model, cfg.LR)
+	s.Variant = cfg.variant()
+	history := s.TrainEpochs(epochs)
+	return &SerialResult{
+		History: history,
+		Model:   &Model{m: model.Clone(), sage: cfg.SAGE},
+		ValAcc:  s.Accuracy(ds.Val),
+		TestAcc: s.Accuracy(ds.Test),
+	}, nil
+}
+
 // TestAccuracy trains the serial reference model and evaluates accuracy on
 // the dataset's test split — a convenience for examples that want an
 // end-to-end quality number.
+//
+// Deprecated: use RunSerial, which returns the full result and errors
+// instead of panicking. Zero-valued hidden/layers/lr/seed select the
+// ModelConfig defaults.
 func TestAccuracy(ds *Dataset, epochs, hidden, layers int, lr float64, seed int64) float64 {
-	aHat := ds.G.NormalizedAdjacency()
-	dims := gcn.LayerDims(ds.FeatureDim(), hidden, ds.Classes, layers)
-	s := gcn.NewSerial(aHat, ds.Features, ds.Labels, ds.Train, gcn.NewModel(seed, dims), lr)
-	s.TrainEpochs(epochs)
-	return s.Accuracy(ds.Test)
+	res, err := RunSerial(ds, epochs, ModelConfig{Hidden: hidden, Layers: layers, LR: lr, Seed: seed})
+	if err != nil {
+		panic(err.Error())
+	}
+	return res.TestAcc
 }
 
-// MiniBatchResult reports a sampled-training run (see TrainMiniBatch).
+// MiniBatchResult reports a sampled-training run (see RunMiniBatch).
 type MiniBatchResult struct {
 	// EpochLoss is the mean batch loss per epoch.
 	EpochLoss []float64
 	TestAcc   float64
+	// Model is the trained weight set.
+	Model *Model
 }
 
-// TrainMiniBatch trains with GraphSAGE-style neighbor sampling — the
+// MiniBatchOption customises RunMiniBatch.
+type MiniBatchOption func(*miniBatchOptions)
+
+type miniBatchOptions struct {
+	fanout    int
+	batchSize int
+}
+
+// WithFanout sets the number of sampled neighbors per vertex per layer
+// (default 5).
+func WithFanout(n int) MiniBatchOption {
+	return func(o *miniBatchOptions) { o.fanout = n }
+}
+
+// WithBatchSize sets the mini-batch size (default 256).
+func WithBatchSize(n int) MiniBatchOption {
+	return func(o *miniBatchOptions) { o.batchSize = n }
+}
+
+// RunMiniBatch trains with GraphSAGE-style neighbor sampling — the
 // mini-batch mode the paper's introduction contrasts with full-batch
-// training. fanout neighbors are sampled per vertex per layer; evaluation
-// is full-batch. Provided as a baseline for comparing the two regimes.
-func TrainMiniBatch(ds *Dataset, epochs, hidden, layers, fanout, batchSize int,
-	lr float64, seed int64) MiniBatchResult {
-	dims := gcn.LayerDims(ds.FeatureDim(), hidden, ds.Classes, layers)
-	model := gcn.NewModel(seed, dims)
+// training — under the same validated configuration conventions as the
+// session API. Optimisation uses Adam at cfg.LR; evaluation is full-batch.
+func RunMiniBatch(ds *Dataset, epochs int, cfg ModelConfig, opts ...MiniBatchOption) (res *MiniBatchResult, err error) {
+	if err := validateDataset(ds); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SAGE {
+		return nil, fmt.Errorf("sagnn: mini-batch training supports only the GCN layer variant")
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("sagnn: %d epochs", epochs)
+	}
+	o := miniBatchOptions{fanout: 5, batchSize: 256}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.fanout < 1 {
+		return nil, fmt.Errorf("sagnn: fanout %d", o.fanout)
+	}
+	if o.batchSize < 1 {
+		return nil, fmt.Errorf("sagnn: batch size %d", o.batchSize)
+	}
+	defer recoverToError(&err)
+	dims := gcn.LayerDims(ds.FeatureDim(), cfg.Hidden, ds.Classes, cfg.Layers)
+	model := gcn.NewModel(cfg.Seed, dims)
 	tr := minibatch.New(ds.G, ds.Features, ds.Labels, ds.Train, model,
-		fanout, batchSize, opt.NewAdam(lr), seed+1)
-	res := MiniBatchResult{EpochLoss: make([]float64, 0, epochs)}
+		o.fanout, o.batchSize, opt.NewAdam(cfg.LR), cfg.Seed+1)
+	res = &MiniBatchResult{EpochLoss: make([]float64, 0, epochs)}
 	for e := 0; e < epochs; e++ {
 		res.EpochLoss = append(res.EpochLoss, tr.Epoch())
 	}
 	res.TestAcc = tr.Accuracy(ds.G.NormalizedAdjacency(), ds.Test)
-	return res
+	res.Model = &Model{m: model.Clone()}
+	return res, nil
+}
+
+// TrainMiniBatch trains with neighbor sampling using positional arguments.
+//
+// Deprecated: use RunMiniBatch, which validates inputs and returns errors
+// instead of panicking on bad shapes. Zero-valued hidden/layers/lr/seed
+// select the ModelConfig defaults.
+func TrainMiniBatch(ds *Dataset, epochs, hidden, layers, fanout, batchSize int,
+	lr float64, seed int64) MiniBatchResult {
+	res, err := RunMiniBatch(ds, epochs,
+		ModelConfig{Hidden: hidden, Layers: layers, LR: lr, Seed: seed},
+		WithFanout(fanout), WithBatchSize(batchSize))
+	if err != nil {
+		panic(err.Error())
+	}
+	return *res
 }

@@ -8,14 +8,23 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"sagnn"
 )
 
 func main() {
+	scaleDiv := flag.Int("scalediv", 8, "dataset scale divisor (1 = full size)")
+	flag.Parse()
+
 	for _, preset := range []sagnn.Preset{sagnn.AmazonSim, sagnn.ProteinSim} {
-		ds := sagnn.MustLoadDataset(preset, 42, 8)
+		ds, err := sagnn.LoadDataset(preset, 42, *scaleDiv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		st := ds.G.Degrees()
 		fmt.Printf("%s: %d vertices, %d edges, avg degree %.1f, degree CV %.2f\n",
 			ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), st.Mean, st.CV)

@@ -3,16 +3,34 @@
 // time for the sparsity-oblivious baseline, plain sparsity-aware, and
 // sparsity-aware with GVB partitioning — showing where the crossover
 // appears and how the partitioner extends scaling.
+//
+// Each process count is one cluster; each scheme is one Distribute on that
+// cluster; the session accounting (ledger snapshots) keeps the runs'
+// figures independent even though they share worlds.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"os"
 
 	"sagnn"
 )
 
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
 func main() {
-	ds := sagnn.MustLoadDataset(sagnn.AmazonSim, 42, 8)
+	scaleDiv := flag.Int("scalediv", 8, "dataset scale divisor (1 = full size)")
+	flag.Parse()
+
+	ds, err := sagnn.LoadDataset(sagnn.AmazonSim, 42, *scaleDiv)
+	check(err)
 	fmt.Printf("dataset %s: %d vertices, %d edges, f=%d\n\n",
 		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim())
 
@@ -33,16 +51,19 @@ func main() {
 	fmt.Println("  (modeled epoch seconds)")
 
 	for _, p := range []int{4, 8, 16, 32, 64} {
+		cluster, err := sagnn.NewCluster(p)
+		check(err)
 		fmt.Printf("%-8d", p)
 		for _, c := range configs {
-			res := sagnn.Train(sagnn.TrainConfig{
-				Dataset:     ds,
-				Processes:   p,
+			dg, err := cluster.Distribute(ds, sagnn.DistOpts{
 				Algorithm:   c.algo,
 				Partitioner: c.part(),
-				Epochs:      2,
-				Seed:        3,
 			})
+			check(err)
+			sess, err := dg.NewSession(sagnn.ModelConfig{Seed: 3})
+			check(err)
+			res, err := sess.Run(context.Background(), 2)
+			check(err)
 			fmt.Printf("%14.5f", res.EpochSeconds)
 		}
 		fmt.Println()

@@ -75,6 +75,7 @@ func NewOblivious1D(w *comm.World, aT *sparse.CSR, layout Layout) *Oblivious1D {
 	if layout.N() != aT.NumRows || aT.NumRows != aT.NumCols {
 		panic(fmt.Sprintf("distmm: matrix %dx%d does not match layout n=%d", aT.NumRows, aT.NumCols, layout.N()))
 	}
+	engineBuilds.Add(1)
 	e := &Oblivious1D{layout: layout, world: w, blocks: make([][]*sparse.CSR, w.P), ws: newObl1dWS(w.P)}
 	parallelBlocks(w.P, func(i int) {
 		rlo, rhi := layout.Range(i)
@@ -181,6 +182,7 @@ func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) *SparsityA
 	if layout.N() != aT.NumRows || aT.NumRows != aT.NumCols {
 		panic(fmt.Sprintf("distmm: matrix %dx%d does not match layout n=%d", aT.NumRows, aT.NumCols, layout.N()))
 	}
+	engineBuilds.Add(1)
 	p := w.P
 	e := &SparsityAware1D{
 		layout:  layout,

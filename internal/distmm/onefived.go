@@ -98,6 +98,7 @@ func NewOblivious15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *Obliv
 	if layout.N() != aT.NumRows {
 		panic("distmm: layout does not match matrix")
 	}
+	engineBuilds.Add(1)
 	e := &Oblivious15D{grid: grid, layout: layout, blocks: make([][]*sparse.CSR, grid.Rows), ws: newGrid15dWS(w.P)}
 	parallelBlocks(grid.Rows, func(i int) {
 		rlo, rhi := layout.Range(i)
@@ -190,6 +191,7 @@ func NewSparsityAware15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *S
 	if layout.N() != aT.NumRows {
 		panic("distmm: layout does not match matrix")
 	}
+	engineBuilds.Add(1)
 	e := &SparsityAware15D{
 		grid:    grid,
 		layout:  layout,

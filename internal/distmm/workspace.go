@@ -8,6 +8,14 @@ import (
 	"sagnn/internal/dense"
 )
 
+// engineBuilds counts engine constructions process-wide. Tests use it to
+// prove that reusing a distributed graph across training sessions performs
+// the expensive block-extraction/NnzCols setup exactly once.
+var engineBuilds atomic.Int64
+
+// EngineBuilds returns the number of engines constructed so far.
+func EngineBuilds() int64 { return engineBuilds.Load() }
+
 // growFloats returns a length-n slice backed by *buf, reallocating the
 // backing array only when capacity is exceeded. Engines keep one such
 // buffer per rank per role (pack, receive, partial-sum), so steady-state

@@ -171,19 +171,22 @@ func Run(cfg RunConfig) RunResult {
 	trainer := gcn.NewDistributed(world, engine, x, labels, train, dims, 0.05, cfg.Seed)
 	results := trainer.TrainEpochs(cfg.Epochs)
 
-	world.Ledger.Scale(1 / float64(cfg.Epochs))
+	// Per-epoch figures come from an immutable ledger snapshot rather than
+	// rescaling the ledger in place, so the world stays reusable.
+	epochs := float64(cfg.Epochs)
+	per := world.Ledger.Snapshot().Scale(1 / epochs)
 	res := RunResult{
 		Config:    cfg,
-		EpochSec:  world.Ledger.Total(),
-		Breakdown: world.Ledger.Breakdown(),
+		EpochSec:  per.Total(),
+		Breakdown: per.Breakdown(),
 		FinalLoss: results[len(results)-1].Loss,
 		Quality:   quality,
 	}
 	const mb = 1e6
-	epochs := float64(cfg.Epochs)
-	res.AvgSentMB = world.Stats().AvgSent() / epochs / mb
-	res.MaxSentMB = float64(world.Stats().MaxSent()) / epochs / mb
-	res.TotalRecvMB = float64(world.Stats().TotalRecv()) / epochs / mb
+	vol := world.Stats().Snapshot()
+	res.AvgSentMB = vol.AvgSent() / epochs / mb
+	res.MaxSentMB = float64(vol.MaxSent()) / epochs / mb
+	res.TotalRecvMB = float64(vol.TotalRecv()) / epochs / mb
 	if res.AvgSentMB > 0 {
 		res.ImbalancePct = (res.MaxSentMB/res.AvgSentMB - 1) * 100
 	}

@@ -33,8 +33,9 @@ type Distributed struct {
 	// The communication pattern is identical for both — one distributed
 	// SpMM per layer per direction — which is the paper's generality claim.
 	Variant Variant
-	// FinalModel is set after TrainEpochs completes: the trained weights
-	// (identical on every rank; rank 0's copy is kept).
+	// FinalModel tracks rank 0's weight replica (identical on every rank)
+	// once a Stepper is built or TrainEpochs runs; after training it holds
+	// the trained weights.
 	FinalModel *Model
 }
 
@@ -126,122 +127,239 @@ func newRankWorkspace(rows int, dims []int, model *Model, variant Variant) *rank
 	return ws
 }
 
+// rankState is one rank's persistent training state: its slice of the
+// features, its weight replica, optimizer, and epoch workspace. Building it
+// once and reusing it across epochs (and across Stepper.Step calls) is what
+// lets a session pause, checkpoint, and resume training without repeating
+// the setup work.
+type rankState struct {
+	lo, hi     int
+	localTrain []int
+	model      *Model
+	newOpt     func() opt.Optimizer
+	optimizer  opt.Optimizer
+	gg         *comm.Group
+	ws         *rankWorkspace
+}
+
+// newRankState builds one rank's persistent state (feature slice, weight
+// replica, optimizer, workspace).
+func (d *Distributed) newRankState(r *comm.Rank) *rankState {
+	lay := d.Engine.Layout()
+	b := d.Engine.BlockOf(r.ID)
+	lo, hi := lay.Range(b)
+	xLocal := d.X.SliceRows(lo, hi).Clone()
+	localTrain := make([]int, 0)
+	for _, v := range d.Train {
+		if v >= lo && v < hi {
+			localTrain = append(localTrain, v-lo)
+		}
+	}
+	model := NewModelVariant(d.Seed, d.Dims, d.Variant)
+	newOpt := d.NewOpt
+	if newOpt == nil {
+		lr := d.LR
+		newOpt = func() opt.Optimizer { return &opt.SGD{LR: lr} }
+	}
+	ws := newRankWorkspace(hi-lo, d.Dims, model, d.Variant)
+	ws.hs[0] = xLocal
+	return &rankState{
+		lo: lo, hi: hi,
+		localTrain: localTrain,
+		model:      model,
+		newOpt:     newOpt,
+		optimizer:  newOpt(),
+		gg:         d.Engine.GradGroup(r.ID),
+		ws:         ws,
+	}
+}
+
+// rankEpoch runs one full-batch epoch for one rank: forward, loss, backward,
+// update. Returns the global (loss, trainAcc), identical on every rank.
+func (d *Distributed) rankEpoch(r *comm.Rank, rs *rankState) (float64, float64) {
+	model, ws := rs.model, rs.ws
+	L := model.Layers()
+	params := d.World.Params
+	sage := d.Variant == SAGEConv
+	nTrain := float64(len(d.Train))
+
+	// Forward.
+	for l := 1; l <= L; l++ {
+		d.Engine.MultiplyInto(r, ws.hs[l-1], ws.agg[l])
+		if sage {
+			dense.HStackInto(ws.ps[l], ws.agg[l], ws.hs[l-1])
+		}
+		w := model.Weights[l-1]
+		dense.MatMulInto(ws.zs[l], ws.ps[l], w)
+		r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ps[l].Rows)*int64(w.Rows)*int64(w.Cols)))
+		if l < L {
+			ws.hs[l].CopyFrom(ws.zs[l])
+			ws.hs[l].ReLU()
+		}
+	}
+
+	// Loss and output gradient on local rows, globally scaled.
+	probs := ws.probs
+	probs.CopyFrom(ws.hs[L])
+	dense.SoftmaxRows(probs)
+	g := ws.g[L]
+	g.Zero()
+	localLoss, localCorrect := 0.0, 0.0
+	for _, i := range rs.localTrain {
+		row := probs.Row(i)
+		y := d.Labels[rs.lo+i]
+		p := row[y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		localLoss -= math.Log(p)
+		grow := g.Row(i)
+		best, bestv := 0, row[0]
+		for j, v := range row {
+			grow[j] = v / nTrain
+			if v > bestv {
+				best, bestv = j, v
+			}
+		}
+		grow[y] -= 1 / nTrain
+		if best == y {
+			localCorrect++
+		}
+	}
+	ws.red[0], ws.red[1] = localLoss, localCorrect
+	rs.gg.AllReduceSumInto(r, ws.red[:], ws.redOut[:], "allreduce")
+	loss := ws.redOut[0] / nTrain
+	acc := ws.redOut[1] / nTrain
+
+	// Backward.
+	for l := L; l >= 1; l-- {
+		yl := ws.yl[l-1]
+		dense.MatMulTransAInto(yl, ws.ps[l], g)
+		r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ps[l].Rows)*int64(yl.Rows)*int64(yl.Cols)))
+		rs.gg.AllReduceSumInto(r, yl.Data, ws.grads[l-1].Data, "allreduce")
+		if l == 1 {
+			break
+		}
+		w := model.Weights[l-1]
+		if sage {
+			dense.MatMulTransBInto(ws.dc[l], g, w)
+			r.ChargeCompute("local", params.GEMMTime(2*int64(g.Rows)*int64(w.Cols)*int64(w.Rows)))
+			ws.dc[l].SplitColsInto(ws.dp[l], ws.dself[l])
+			d.Engine.MultiplyInto(r, ws.dp[l], ws.g[l-1])
+			ws.g[l-1].Add(ws.dself[l])
+		} else {
+			d.Engine.MultiplyInto(r, g, ws.ag[l])
+			dense.MatMulTransBInto(ws.g[l-1], ws.ag[l], w)
+			r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ag[l].Rows)*int64(w.Cols)*int64(w.Rows)))
+		}
+		ws.zs[l-1].ReLUDerivInto(ws.deriv[l-1])
+		ws.g[l-1].Hadamard(ws.deriv[l-1])
+		g = ws.g[l-1]
+	}
+	rs.optimizer.Step(model.Weights, ws.grads)
+	return loss, acc
+}
+
+// Stepper drives a Distributed trainer one epoch at a time while keeping
+// every rank's state (weight replica, optimizer, workspace) alive between
+// calls. It is the engine-reuse primitive the session API builds on: the
+// setup work (feature slicing, workspace allocation) happens once in
+// Stepper(), and each Step/StepN afterwards runs only the epoch loop.
+//
+// A Stepper is not safe for concurrent use; Step and StepN are collective
+// over the whole world and must be serialized by the caller.
+type Stepper struct {
+	d     *Distributed
+	ranks []*rankState
+	epoch int
+}
+
+// Stepper builds the persistent per-rank training state (in parallel, one
+// goroutine per rank) and returns the step-wise driver positioned at epoch 0.
+func (d *Distributed) Stepper() *Stepper {
+	st := &Stepper{d: d, ranks: make([]*rankState, d.World.P)}
+	d.World.Run(func(r *comm.Rank) {
+		st.ranks[r.ID] = d.newRankState(r)
+	})
+	st.d.FinalModel = st.ranks[0].model
+	return st
+}
+
+// Step runs one training epoch across all ranks and returns its result.
+func (st *Stepper) Step() EpochResult {
+	res := EpochResult{Epoch: st.epoch}
+	st.d.World.Run(func(r *comm.Rank) {
+		loss, acc := st.d.rankEpoch(r, st.ranks[r.ID])
+		if r.ID == 0 {
+			res.Loss, res.TrainAcc = loss, acc
+		}
+	})
+	st.epoch++
+	return res
+}
+
+// StepN runs n consecutive epochs inside a single collective launch (one
+// goroutine per rank for the whole batch) and returns their results. It is
+// numerically identical to n Step calls but amortises the launch overhead,
+// so batch callers (TrainEpochs, benchmark loops) prefer it.
+func (st *Stepper) StepN(n int) []EpochResult {
+	results := make([]EpochResult, n)
+	st.d.World.Run(func(r *comm.Rank) {
+		rs := st.ranks[r.ID]
+		for e := 0; e < n; e++ {
+			loss, acc := st.d.rankEpoch(r, rs)
+			if r.ID == 0 {
+				results[e] = EpochResult{Epoch: st.epoch + e, Loss: loss, TrainAcc: acc}
+			}
+		}
+	})
+	st.epoch += n
+	return results
+}
+
+// Epoch returns the number of epochs stepped so far (the next Step's index).
+func (st *Stepper) Epoch() int { return st.epoch }
+
+// SetEpoch overrides the epoch counter; used when restoring a checkpoint.
+func (st *Stepper) SetEpoch(e int) { st.epoch = e }
+
+// Model returns rank 0's live weight replica (identical on every rank).
+// Callers must not mutate it while training continues; Clone first.
+func (st *Stepper) Model() *Model { return st.ranks[0].model }
+
+// SetModel replaces every rank's weight replica with an independent copy of
+// m and resets optimizer state, restoring the trainer to the checkpointed
+// parameters. It errors (before touching any rank state) if the model's
+// shape does not match the trainer's layer dimensions.
+func (st *Stepper) SetModel(m *Model) error {
+	have := st.ranks[0].model
+	if len(m.Weights) != len(have.Weights) {
+		return fmt.Errorf("gcn: restore %d layers into %d-layer trainer", len(m.Weights), len(have.Weights))
+	}
+	for l, w := range m.Weights {
+		hw := have.Weights[l]
+		if w.Rows != hw.Rows || w.Cols != hw.Cols {
+			return fmt.Errorf("gcn: restore W%d %dx%d into %dx%d", l+1, w.Rows, w.Cols, hw.Rows, hw.Cols)
+		}
+	}
+	for _, rs := range st.ranks {
+		rs.model = m.Clone()
+		rs.optimizer = rs.newOpt()
+	}
+	st.d.FinalModel = st.ranks[0].model
+	return nil
+}
+
 // TrainEpochs runs full-batch training for the given number of epochs
 // across all ranks and returns the per-epoch loss/accuracy trajectory
 // (identical on every rank; recorded once). Each rank builds its workspace
 // once; the per-epoch loop then runs allocation-free through the *Into
-// kernels and pooled collectives.
+// kernels and pooled collectives. It is a convenience for one-shot runs;
+// steppable training goes through Stepper.
 func (d *Distributed) TrainEpochs(epochs int) []EpochResult {
-	results := make([]EpochResult, epochs)
-	lay := d.Engine.Layout()
-	nTrain := float64(len(d.Train))
-	d.World.Run(func(r *comm.Rank) {
-		b := d.Engine.BlockOf(r.ID)
-		lo, hi := lay.Range(b)
-		xLocal := d.X.SliceRows(lo, hi).Clone()
-		localTrain := make([]int, 0)
-		for _, v := range d.Train {
-			if v >= lo && v < hi {
-				localTrain = append(localTrain, v-lo)
-			}
-		}
-		model := NewModelVariant(d.Seed, d.Dims, d.Variant)
-		L := model.Layers()
-		gg := d.Engine.GradGroup(r.ID)
-		params := d.World.Params
-		var optimizer opt.Optimizer
-		if d.NewOpt != nil {
-			optimizer = d.NewOpt()
-		} else {
-			optimizer = &opt.SGD{LR: d.LR}
-		}
-		sage := d.Variant == SAGEConv
-		ws := newRankWorkspace(hi-lo, d.Dims, model, d.Variant)
-		ws.hs[0] = xLocal
-
-		for e := 0; e < epochs; e++ {
-			// Forward.
-			for l := 1; l <= L; l++ {
-				d.Engine.MultiplyInto(r, ws.hs[l-1], ws.agg[l])
-				if sage {
-					dense.HStackInto(ws.ps[l], ws.agg[l], ws.hs[l-1])
-				}
-				w := model.Weights[l-1]
-				dense.MatMulInto(ws.zs[l], ws.ps[l], w)
-				r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ps[l].Rows)*int64(w.Rows)*int64(w.Cols)))
-				if l < L {
-					ws.hs[l].CopyFrom(ws.zs[l])
-					ws.hs[l].ReLU()
-				}
-			}
-
-			// Loss and output gradient on local rows, globally scaled.
-			probs := ws.probs
-			probs.CopyFrom(ws.hs[L])
-			dense.SoftmaxRows(probs)
-			g := ws.g[L]
-			g.Zero()
-			localLoss, localCorrect := 0.0, 0.0
-			for _, i := range localTrain {
-				row := probs.Row(i)
-				y := d.Labels[lo+i]
-				p := row[y]
-				if p < 1e-12 {
-					p = 1e-12
-				}
-				localLoss -= math.Log(p)
-				grow := g.Row(i)
-				best, bestv := 0, row[0]
-				for j, v := range row {
-					grow[j] = v / nTrain
-					if v > bestv {
-						best, bestv = j, v
-					}
-				}
-				grow[y] -= 1 / nTrain
-				if best == y {
-					localCorrect++
-				}
-			}
-			ws.red[0], ws.red[1] = localLoss, localCorrect
-			gg.AllReduceSumInto(r, ws.red[:], ws.redOut[:], "allreduce")
-			loss := ws.redOut[0] / nTrain
-			acc := ws.redOut[1] / nTrain
-
-			// Backward.
-			for l := L; l >= 1; l-- {
-				yl := ws.yl[l-1]
-				dense.MatMulTransAInto(yl, ws.ps[l], g)
-				r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ps[l].Rows)*int64(yl.Rows)*int64(yl.Cols)))
-				gg.AllReduceSumInto(r, yl.Data, ws.grads[l-1].Data, "allreduce")
-				if l == 1 {
-					break
-				}
-				w := model.Weights[l-1]
-				if sage {
-					dense.MatMulTransBInto(ws.dc[l], g, w)
-					r.ChargeCompute("local", params.GEMMTime(2*int64(g.Rows)*int64(w.Cols)*int64(w.Rows)))
-					ws.dc[l].SplitColsInto(ws.dp[l], ws.dself[l])
-					d.Engine.MultiplyInto(r, ws.dp[l], ws.g[l-1])
-					ws.g[l-1].Add(ws.dself[l])
-				} else {
-					d.Engine.MultiplyInto(r, g, ws.ag[l])
-					dense.MatMulTransBInto(ws.g[l-1], ws.ag[l], w)
-					r.ChargeCompute("local", params.GEMMTime(2*int64(ws.ag[l].Rows)*int64(w.Cols)*int64(w.Rows)))
-				}
-				ws.zs[l-1].ReLUDerivInto(ws.deriv[l-1])
-				ws.g[l-1].Hadamard(ws.deriv[l-1])
-				g = ws.g[l-1]
-			}
-			optimizer.Step(model.Weights, ws.grads)
-			if r.ID == 0 {
-				results[e] = EpochResult{Epoch: e, Loss: loss, TrainAcc: acc}
-			}
-		}
-		if r.ID == 0 {
-			d.FinalModel = model
-		}
-	})
+	st := d.Stepper()
+	results := st.StepN(epochs)
+	d.FinalModel = st.Model()
 	return results
 }
 

@@ -120,6 +120,10 @@ func (l *Ledger) Reset() {
 
 // Scale multiplies every entry by s; used to convert an accumulated
 // multi-epoch run into per-epoch figures.
+//
+// Deprecated: Scale mutates shared state, so a second run on the same world
+// reads corrupted figures. Take a Snapshot before and after the run and
+// derive per-run numbers from the difference instead.
 func (l *Ledger) Scale(s float64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -128,6 +132,130 @@ func (l *Ledger) Scale(s float64) {
 			row[i] *= s
 		}
 	}
+}
+
+// Snapshot is an immutable copy of a ledger's accumulated per-rank,
+// per-phase seconds. Subtracting two snapshots isolates the time charged by
+// one run on a long-lived world, which lets sessions report per-run figures
+// without mutating shared ledger state (the bug Scale invites).
+type Snapshot struct {
+	p      int
+	phases map[string][]float64
+}
+
+// Snapshot copies the ledger's current state.
+func (l *Ledger) Snapshot() *Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := &Snapshot{p: l.p, phases: make(map[string][]float64, len(l.phases))}
+	for ph, row := range l.phases {
+		s.phases[ph] = append([]float64(nil), row...)
+	}
+	return s
+}
+
+// Sub returns the entry-wise difference s − earlier: the time charged
+// between the two snapshots. Phases absent from earlier count as zero.
+func (s *Snapshot) Sub(earlier *Snapshot) *Snapshot {
+	if earlier != nil && earlier.p != s.p {
+		panic(fmt.Sprintf("machine: snapshot of %d ranks minus %d ranks", s.p, earlier.p))
+	}
+	d := &Snapshot{p: s.p, phases: make(map[string][]float64, len(s.phases))}
+	for ph, row := range s.phases {
+		out := append([]float64(nil), row...)
+		if earlier != nil {
+			if prev, ok := earlier.phases[ph]; ok {
+				for i := range out {
+					out[i] -= prev[i]
+				}
+			}
+		}
+		d.phases[ph] = out
+	}
+	return d
+}
+
+// Add returns the entry-wise sum s + other, with phases unioned. A nil
+// receiver acts as zero and returns other unchanged (sessions accumulate
+// per-step deltas starting from nil).
+func (s *Snapshot) Add(other *Snapshot) *Snapshot {
+	if s == nil {
+		return other
+	}
+	if other != nil && other.p != s.p {
+		panic(fmt.Sprintf("machine: snapshot of %d ranks plus %d ranks", s.p, other.p))
+	}
+	d := &Snapshot{p: s.p, phases: make(map[string][]float64, len(s.phases))}
+	for ph, row := range s.phases {
+		d.phases[ph] = append([]float64(nil), row...)
+	}
+	if other != nil {
+		for ph, row := range other.phases {
+			dst, ok := d.phases[ph]
+			if !ok {
+				dst = make([]float64, s.p)
+				d.phases[ph] = dst
+			}
+			for i, v := range row {
+				dst[i] += v
+			}
+		}
+	}
+	return d
+}
+
+// Scale returns a copy with every entry multiplied by f (e.g. 1/epochs to
+// convert an accumulated run into per-epoch figures).
+func (s *Snapshot) Scale(f float64) *Snapshot {
+	d := &Snapshot{p: s.p, phases: make(map[string][]float64, len(s.phases))}
+	for ph, row := range s.phases {
+		out := make([]float64, len(row))
+		for i, v := range row {
+			out[i] = v * f
+		}
+		d.phases[ph] = out
+	}
+	return d
+}
+
+// Phases returns the snapshot's phase names in sorted order.
+func (s *Snapshot) Phases() []string {
+	out := make([]string, 0, len(s.phases))
+	for k := range s.phases {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PhaseMax returns the slowest rank's seconds in the phase.
+func (s *Snapshot) PhaseMax(phase string) float64 {
+	maxv := 0.0
+	for _, v := range s.phases[phase] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	return maxv
+}
+
+// Total returns the modeled bulk-synchronous makespan of the snapshot:
+// Σ over phases of the per-phase maximum (same convention as Ledger.Total).
+func (s *Snapshot) Total() float64 {
+	t := 0.0
+	for _, ph := range s.Phases() {
+		t += s.PhaseMax(ph)
+	}
+	return t
+}
+
+// Breakdown returns phase → per-phase max seconds.
+func (s *Snapshot) Breakdown() map[string]float64 {
+	out := make(map[string]float64, len(s.phases))
+	for _, ph := range s.Phases() {
+		out[ph] = s.PhaseMax(ph)
+	}
+	return out
 }
 
 // String renders the breakdown for logs.

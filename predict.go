@@ -1,0 +1,226 @@
+package sagnn
+
+import (
+	"fmt"
+	"sync"
+
+	"sagnn/internal/dense"
+	"sagnn/internal/gcn"
+)
+
+// Model is a trained GCN parameter set, detached from the session that
+// produced it. Weights are permutation-invariant, so a model trained on a
+// partitioned (permuted) graph predicts directly on the original dataset
+// order. Models serialize with MarshalBinary / LoadModel.
+type Model struct {
+	m    *gcn.Model
+	sage bool
+}
+
+// Layers returns the number of GCN layers.
+func (m *Model) Layers() int { return m.m.Layers() }
+
+// SAGE reports whether the model uses the GraphSAGE-style concat layer.
+func (m *Model) SAGE() bool { return m.sage }
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model { return &Model{m: m.m.Clone(), sage: m.sage} }
+
+// variant returns the gcn layer variant the weights are shaped for.
+func (m *Model) variant() gcn.Variant {
+	if m.sage {
+		return gcn.SAGEConv
+	}
+	return gcn.GCNConv
+}
+
+// checkDataset verifies the dataset's feature width matches the model.
+func (m *Model) checkDataset(ds *Dataset) error {
+	if err := validateDataset(ds); err != nil {
+		return err
+	}
+	want := m.variant().InputRows(ds.FeatureDim())
+	if got := m.m.Weights[0].Rows; got != want {
+		return fmt.Errorf("sagnn: model expects %d input rows, dataset %q has feature width %d", got, ds.Name, ds.FeatureDim())
+	}
+	return nil
+}
+
+// probabilities runs full-batch inference over the whole dataset and
+// returns row-wise class probabilities.
+func (m *Model) probabilities(ds *Dataset) (p *dense.Matrix, err error) {
+	if err := m.checkDataset(ds); err != nil {
+		return nil, err
+	}
+	defer recoverToError(&err)
+	eval := gcn.NewSerial(ds.G.NormalizedAdjacency(), ds.Features, ds.Labels, ds.Train, m.m, 0)
+	eval.Variant = m.variant()
+	return eval.Predict(), nil
+}
+
+// Predict returns the predicted class of each requested vertex on the
+// given dataset (full-batch inference; no training state is touched). A nil
+// vertices slice predicts every vertex.
+func (m *Model) Predict(ds *Dataset, vertices []int) ([]int, error) {
+	probs, err := m.probabilities(ds)
+	if err != nil {
+		return nil, err
+	}
+	return argmaxRows(probs, vertices)
+}
+
+// MarshalBinary serialises the model.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	data, err := m.m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	flag := byte(0)
+	if m.sage {
+		flag = 1
+	}
+	return append([]byte{flag}, data...), nil
+}
+
+// LoadModel parses a model serialised with MarshalBinary.
+func LoadModel(data []byte) (*Model, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("sagnn: empty model data")
+	}
+	g := &gcn.Model{}
+	if err := g.UnmarshalBinary(data[1:]); err != nil {
+		return nil, err
+	}
+	return &Model{m: g, sage: data[0] != 0}, nil
+}
+
+// expandVertices resolves the shared "nil means every vertex" convention
+// and bounds-checks explicit requests against n vertices.
+func expandVertices(n int, vertices []int) ([]int, error) {
+	if vertices == nil {
+		vertices = make([]int, n)
+		for i := range vertices {
+			vertices[i] = i
+		}
+		return vertices, nil
+	}
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("sagnn: vertex %d outside [0,%d)", v, n)
+		}
+	}
+	return vertices, nil
+}
+
+// argmaxRows maps each requested vertex to its argmax class. nil vertices
+// selects all rows.
+func argmaxRows(probs *dense.Matrix, vertices []int) ([]int, error) {
+	vertices, err := expandVertices(probs.Rows, vertices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(vertices))
+	for i, v := range vertices {
+		row := probs.Row(v)
+		best, bestv := 0, row[0]
+		for j, p := range row {
+			if p > bestv {
+				best, bestv = j, p
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// Predictor serves class predictions from a frozen model without
+// re-entering training. The first query runs one full-batch forward pass
+// over its dataset and caches the class probabilities; every query after
+// that is a table lookup, so a Predictor can absorb heavy read traffic.
+// Safe for concurrent use.
+type Predictor struct {
+	model *Model
+	ds    *Dataset
+
+	mu    sync.Mutex
+	probs *dense.Matrix
+}
+
+// NewPredictor builds a serving handle for a model over a dataset.
+func NewPredictor(m *Model, ds *Dataset) (*Predictor, error) {
+	if m == nil {
+		return nil, fmt.Errorf("sagnn: nil model")
+	}
+	if err := m.checkDataset(ds); err != nil {
+		return nil, err
+	}
+	return &Predictor{model: m.Clone(), ds: ds}, nil
+}
+
+// Model returns a copy of the served model.
+func (p *Predictor) Model() *Model { return p.model.Clone() }
+
+// ensureProbs computes and caches the full-batch probabilities once.
+func (p *Predictor) ensureProbs() (*dense.Matrix, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.probs == nil {
+		probs, err := p.model.probabilities(p.ds)
+		if err != nil {
+			return nil, err
+		}
+		p.probs = probs
+	}
+	return p.probs, nil
+}
+
+// Predict returns the predicted class of each requested vertex. A nil
+// slice predicts every vertex.
+func (p *Predictor) Predict(vertices []int) ([]int, error) {
+	probs, err := p.ensureProbs()
+	if err != nil {
+		return nil, err
+	}
+	return argmaxRows(probs, vertices)
+}
+
+// Probabilities returns each requested vertex's class-probability row
+// (fresh copies the caller owns). A nil slice selects every vertex.
+func (p *Predictor) Probabilities(vertices []int) ([][]float64, error) {
+	probs, err := p.ensureProbs()
+	if err != nil {
+		return nil, err
+	}
+	vertices, err = expandVertices(probs.Rows, vertices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(vertices))
+	for i, v := range vertices {
+		out[i] = append([]float64(nil), probs.Row(v)...)
+	}
+	return out, nil
+}
+
+// Accuracy evaluates prediction accuracy on a vertex set against the
+// dataset's labels (e.g. ds.Test). A nil slice evaluates every vertex.
+func (p *Predictor) Accuracy(vertices []int) (float64, error) {
+	vertices, err := expandVertices(p.ds.G.NumVertices(), vertices)
+	if err != nil {
+		return 0, err
+	}
+	if len(vertices) == 0 {
+		return 0, fmt.Errorf("sagnn: empty vertex set")
+	}
+	preds, err := p.Predict(vertices)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, v := range vertices {
+		if preds[i] == p.ds.Labels[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
+}

@@ -9,27 +9,33 @@
 // that measures exact communication volumes and models epoch time with the
 // paper's α–β machine model.
 //
-// Quick start:
+// The composable API separates the expensive, amortizable setup from the
+// per-epoch work and from serving, mirroring the paper's observation that
+// partitioning and sparsity-aware communication schedules pay off across
+// many epochs:
 //
-//	ds := sagnn.MustLoadDataset(sagnn.ProteinSim, 42, 8)
-//	res := sagnn.Train(sagnn.TrainConfig{
-//		Dataset:     ds,
-//		Processes:   16,
+//	cluster, _ := sagnn.NewCluster(16)
+//	dg, _ := cluster.Distribute(ds, sagnn.DistOpts{
 //		Algorithm:   sagnn.SparsityAware1D,
 //		Partitioner: sagnn.NewGVB(42),
-//		Epochs:      20,
 //	})
-//	fmt.Printf("loss=%.4f modeled epoch=%.4fs\n", res.FinalLoss, res.EpochSeconds)
+//	sess, _ := dg.NewSession(sagnn.ModelConfig{Seed: 7})
+//	res, _ := sess.Run(ctx, 20)           // or sess.Step() epoch by epoch
+//	pred := sess.Predictor()              // serve from the trained weights
+//	classes, _ := pred.Predict([]int{0, 1, 2})
+//
+// One Distribute (partition + engine build) can back any number of
+// sessions; sessions expose Step, epoch callbacks, context cancellation,
+// and Snapshot/Restore checkpointing. The legacy one-shot Train entry
+// point remains as a compatibility wrapper over the same path.
 package sagnn
 
 import (
+	"context"
 	"fmt"
 
-	"sagnn/internal/comm"
-	"sagnn/internal/distmm"
 	"sagnn/internal/gcn"
 	"sagnn/internal/gen"
-	"sagnn/internal/machine"
 	"sagnn/internal/partition"
 )
 
@@ -88,7 +94,9 @@ const (
 	SparsityAware15D Algorithm = "sparsity-aware-1.5d"
 )
 
-// TrainConfig configures a distributed training run.
+// TrainConfig configures a one-shot distributed training run via the
+// legacy Train wrapper. New code should use NewCluster / Distribute /
+// NewSession, which separate the amortizable setup from training.
 type TrainConfig struct {
 	Dataset   *Dataset
 	Processes int
@@ -154,95 +162,73 @@ type TrainResult struct {
 	TestAcc float64
 	// PartitionQuality describes the partition when a Partitioner ran.
 	PartitionQuality *partition.Quality
+	// Model is the trained weight set, detached from the run: evaluate it,
+	// serve it through a Predictor, or persist it with MarshalBinary.
+	Model *Model
 }
 
 // Train runs distributed full-batch GCN training under the given
-// configuration and returns the trajectory plus modeled performance.
+// configuration and returns the trajectory plus modeled performance. It is
+// a compatibility wrapper over the composable API (NewCluster → Distribute
+// → NewSession → Run) that rebuilds the cluster, partition, and
+// communication schedule on every call and panics on invalid configuration.
+//
+// Deprecated: new code should use the composable API directly, which
+// amortises the setup across runs and returns errors instead of panicking.
 func Train(cfg TrainConfig) TrainResult {
+	res, err := trainViaSession(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return *res
+}
+
+// trainViaSession is the one code path behind the legacy wrapper: every
+// Train call is exactly a build-once/train-once session run.
+func trainViaSession(cfg TrainConfig) (*TrainResult, error) {
 	cfg = cfg.withDefaults()
-	ds := cfg.Dataset
-	if ds == nil {
-		panic("sagnn: TrainConfig.Dataset is nil")
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("sagnn: TrainConfig.Dataset is nil")
 	}
-	p, c := cfg.Processes, cfg.Replication
-	if p <= 0 {
-		panic(fmt.Sprintf("sagnn: %d processes", p))
+	cluster, err := NewCluster(cfg.Processes)
+	if err != nil {
+		return nil, err
 	}
-	k := p / c
-
-	aHat := ds.G.NormalizedAdjacency()
-	x, labels := ds.Features, ds.Labels
-	train, val, test := ds.Train, ds.Val, ds.Test
-	var layout distmm.Layout
-	var quality *partition.Quality
-	if cfg.Partitioner != nil {
-		part := cfg.Partitioner.Partition(ds.G, k)
-		q := partition.Evaluate(cfg.Partitioner.Name(), ds.G, part)
-		quality = &q
-		perm := part.Perm()
-		aHat = aHat.PermuteSymmetric(perm)
-		var sets [][]int
-		x, labels, sets = gcn.ApplyPerm(perm, x, labels, train, val, test)
-		train, val, test = sets[0], sets[1], sets[2]
-		layout = distmm.LayoutFromOffsets(part.Offsets())
-	} else {
-		layout = distmm.UniformLayout(ds.G.NumVertices(), k)
+	dg, err := cluster.Distribute(cfg.Dataset, DistOpts{
+		Algorithm:   cfg.Algorithm,
+		Replication: cfg.Replication,
+		Partitioner: cfg.Partitioner,
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	world := comm.NewWorld(p, machine.Perlmutter())
-	var engine distmm.Engine
-	switch cfg.Algorithm {
-	case Oblivious1D:
-		engine = distmm.NewOblivious1D(world, aHat, layout)
-	case SparsityAware1D:
-		engine = distmm.NewSparsityAware1D(world, aHat, layout)
-	case Oblivious15D:
-		engine = distmm.NewOblivious15D(world, aHat, c, layout)
-	case SparsityAware15D:
-		engine = distmm.NewSparsityAware15D(world, aHat, c, layout)
-	default:
-		panic(fmt.Sprintf("sagnn: unknown algorithm %q", cfg.Algorithm))
+	sess, err := dg.NewSession(ModelConfig{
+		Hidden: cfg.Hidden,
+		Layers: cfg.Layers,
+		LR:     cfg.LR,
+		Seed:   cfg.Seed,
+		SAGE:   cfg.SAGE,
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	dims := gcn.LayerDims(x.Cols, cfg.Hidden, ds.Classes, cfg.Layers)
-	trainer := gcn.NewDistributed(world, engine, x, labels, train, dims, cfg.LR, cfg.Seed)
-	if cfg.SAGE {
-		trainer.Variant = gcn.SAGEConv
-	}
-	history := trainer.TrainEpochs(cfg.Epochs)
-
-	world.Ledger.Scale(1 / float64(cfg.Epochs))
-	last := history[len(history)-1]
-	const mb = 1e6
-	res := TrainResult{
-		History:          history,
-		FinalLoss:        last.Loss,
-		FinalTrainAcc:    last.TrainAcc,
-		EpochSeconds:     world.Ledger.Total(),
-		Breakdown:        world.Ledger.Breakdown(),
-		MaxSentMB:        float64(world.Stats().MaxSent()) / float64(cfg.Epochs) / mb,
-		AvgSentMB:        world.Stats().AvgSent() / float64(cfg.Epochs) / mb,
-		PartitionQuality: quality,
-	}
-	// Evaluate the trained weights on the held-out splits with full-batch
-	// inference (every replica holds the same model; rank 0's copy is used).
-	if trainer.FinalModel != nil {
-		eval := gcn.NewSerial(aHat, x, labels, train, trainer.FinalModel, cfg.LR)
-		eval.Variant = trainer.Variant
-		res.ValAcc = eval.Accuracy(val)
-		res.TestAcc = eval.Accuracy(test)
-	}
-	return res
+	return sess.Run(context.Background(), cfg.Epochs)
 }
 
 // TrainSerial runs the single-process reference trainer on a dataset —
 // the ground truth for accuracy comparisons and the quickest way to try
 // the library.
+//
+// Deprecated: use RunSerial, which validates inputs, returns errors, and
+// exposes the trained model. Note: zero-valued hidden/layers/lr/seed now
+// select the documented ModelConfig defaults (16/3/0.05/1) instead of
+// being passed through literally.
 func TrainSerial(ds *Dataset, epochs, hidden, layers int, lr float64, seed int64) []gcn.EpochResult {
-	aHat := ds.G.NormalizedAdjacency()
-	dims := gcn.LayerDims(ds.FeatureDim(), hidden, ds.Classes, layers)
-	s := gcn.NewSerial(aHat, ds.Features, ds.Labels, ds.Train, gcn.NewModel(seed, dims), lr)
-	return s.TrainEpochs(epochs)
+	res, err := RunSerial(ds, epochs, ModelConfig{Hidden: hidden, Layers: layers, LR: lr, Seed: seed})
+	if err != nil {
+		panic(err.Error())
+	}
+	return res.History
 }
 
 // EvaluatePartitioners compares partition quality (edgecut, total and max

@@ -1,0 +1,384 @@
+package sagnn
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/gcn"
+	"sagnn/internal/machine"
+)
+
+// EpochResult reports one training epoch (loss and train accuracy).
+type EpochResult = gcn.EpochResult
+
+// ErrStopTraining, returned from an epoch callback, stops Session.Run
+// cleanly after the current epoch: Run returns the partial result and a nil
+// error. Any other callback error aborts Run and is returned to the caller.
+var ErrStopTraining = errors.New("sagnn: stop training")
+
+// ModelConfig describes the GCN a session trains. The zero value selects
+// the paper's configuration (3 layers, 16 hidden units, SGD at 0.05).
+type ModelConfig struct {
+	Hidden int     // hidden units per layer (default 16)
+	Layers int     // GCN layers (default 3)
+	LR     float64 // SGD learning rate (default 0.05)
+	Seed   int64   // weight-init seed (default 1)
+	// SAGE switches the layer operation from the paper's GCN convolution to
+	// a GraphSAGE-style concat layer — same communication pattern.
+	SAGE bool
+}
+
+func (c ModelConfig) withDefaults() ModelConfig {
+	if c.Hidden == 0 {
+		c.Hidden = 16
+	}
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c ModelConfig) validate() error {
+	switch {
+	case c.Hidden < 1:
+		return fmt.Errorf("sagnn: %d hidden units", c.Hidden)
+	case c.Layers < 1:
+		return fmt.Errorf("sagnn: %d layers", c.Layers)
+	case c.LR <= 0:
+		return fmt.Errorf("sagnn: learning rate %v", c.LR)
+	}
+	return nil
+}
+
+func (c ModelConfig) variant() gcn.Variant {
+	if c.SAGE {
+		return gcn.SAGEConv
+	}
+	return gcn.GCNConv
+}
+
+// SessionOption customises NewSession.
+type SessionOption func(*sessionOptions)
+
+type sessionOptions struct {
+	callbacks []func(EpochResult) error
+}
+
+// WithEpochCallback registers fn to run after every epoch of Session.Run
+// (logging, metrics, early stopping). Returning ErrStopTraining ends the
+// run cleanly; any other error aborts it and is returned from Run. Multiple
+// callbacks run in registration order.
+func WithEpochCallback(fn func(EpochResult) error) SessionOption {
+	return func(o *sessionOptions) { o.callbacks = append(o.callbacks, fn) }
+}
+
+// Session is steppable distributed training of one model over a DistGraph.
+// Creating a session builds each rank's weight replica, optimizer, and
+// epoch workspace once; every Step afterwards runs exactly one full-batch
+// epoch. Multiple sessions can share one DistGraph — the partition and the
+// sparsity-aware communication schedule are built once and reused — but
+// their Step/Run calls are serialized (the engine's per-rank workspaces are
+// shared), so a Session must not be stepped from multiple goroutines.
+type Session struct {
+	dg      *DistGraph
+	cfg     ModelConfig
+	opts    sessionOptions
+	trainer *gcn.Distributed
+	stepper *gcn.Stepper
+	history []EpochResult
+
+	// spentLedger / spentVol accumulate this session's own modeled time and
+	// traffic, one delta per step measured under the cluster's step lock —
+	// so interleaved runs of other sessions on the shared cluster never
+	// leak into this session's figures. Snapshots are immutable; Run marks
+	// a position by keeping the pointer.
+	spentLedger *machine.Snapshot
+	spentVol    *comm.VolumeSnapshot
+}
+
+// NewSession creates a training session for the given model configuration
+// on the distributed graph. The graph's engine and partition are reused
+// as-is; only per-session state (weights, optimizer, workspaces) is built.
+func (g *DistGraph) NewSession(cfg ModelConfig, opts ...SessionOption) (s *Session, err error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	defer recoverToError(&err)
+	dims := gcn.LayerDims(g.x.Cols, cfg.Hidden, g.ds.Classes, cfg.Layers)
+	trainer := gcn.NewDistributed(g.cluster.world, g.engine, g.x, g.labels, g.train, dims, cfg.LR, cfg.Seed)
+	trainer.Variant = cfg.variant()
+	g.cluster.mu.Lock()
+	stepper := trainer.Stepper()
+	g.cluster.mu.Unlock()
+	return &Session{dg: g, cfg: cfg, opts: o, trainer: trainer, stepper: stepper}, nil
+}
+
+// recoverToError converts an internal invariant panic into an error on the
+// public API boundary.
+func recoverToError(err *error) {
+	if e := recover(); e != nil {
+		*err = fmt.Errorf("sagnn: %v", e)
+	}
+}
+
+// Step runs exactly one training epoch across all ranks and returns its
+// result. Steps of sessions sharing a cluster are serialized internally,
+// and the epoch's modeled time and traffic are attributed to this session
+// while the lock is held.
+func (s *Session) Step() (EpochResult, error) {
+	batch, err := s.stepN(1)
+	if err != nil {
+		return EpochResult{}, err
+	}
+	return batch[0], nil
+}
+
+// stepN runs n consecutive epochs inside one collective launch under the
+// cluster's step lock, attributing their modeled time and traffic to this
+// session.
+func (s *Session) stepN(n int) (batch []EpochResult, err error) {
+	defer recoverToError(&err)
+	s.dg.cluster.mu.Lock()
+	defer s.dg.cluster.mu.Unlock()
+	world := s.dg.cluster.world
+	l0 := world.Ledger.Snapshot()
+	v0 := world.Stats().Snapshot()
+	batch = s.stepper.StepN(n)
+	s.spentLedger = s.spentLedger.Add(world.Ledger.Snapshot().Sub(l0))
+	s.spentVol = s.spentVol.Add(world.Stats().Snapshot().Sub(v0))
+	s.history = append(s.history, batch...)
+	return batch, nil
+}
+
+// Epoch returns the number of epochs trained so far (the next Step's index).
+func (s *Session) Epoch() int { return s.stepper.Epoch() }
+
+// History returns a copy of every epoch result recorded so far.
+func (s *Session) History() []EpochResult {
+	return append([]EpochResult(nil), s.history...)
+}
+
+// Model returns a snapshot of the current trained weights. The copy is
+// detached: further training does not mutate it.
+func (s *Session) Model() *Model {
+	s.dg.cluster.mu.Lock()
+	defer s.dg.cluster.mu.Unlock()
+	return &Model{m: s.stepper.Model().Clone(), sage: s.cfg.SAGE}
+}
+
+// Run trains for up to the given number of epochs, checking ctx between
+// epochs and invoking any registered epoch callbacks. It returns the result
+// of the epochs actually run — also when stopped early by ctx cancellation
+// (err = ctx.Err()), a callback error, or ErrStopTraining (err = nil).
+func (s *Session) Run(ctx context.Context, epochs int) (*TrainResult, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("sagnn: %d epochs", epochs)
+	}
+	ledger0 := s.spentLedger
+	vol0 := s.spentVol
+	runHist := make([]EpochResult, 0, epochs)
+	var runErr error
+loop:
+	for len(runHist) < epochs {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		// With no per-epoch callbacks, batch the remaining epochs through a
+		// single collective launch (one goroutine set, one accounting
+		// snapshot pair). A cancellable context caps the batch so
+		// cancellation is still honored between launches; callbacks force
+		// epoch-at-a-time stepping.
+		n := 1
+		if len(s.opts.callbacks) == 0 {
+			n = epochs - len(runHist)
+			if ctx.Done() != nil && n > 16 {
+				n = 16
+			}
+		}
+		batch, err := s.stepN(n)
+		runHist = append(runHist, batch...)
+		if err != nil {
+			runErr = err
+			break
+		}
+		for _, res := range batch {
+			for _, cb := range s.opts.callbacks {
+				if err := cb(res); err != nil {
+					if !errors.Is(err, ErrStopTraining) {
+						runErr = err
+					}
+					break loop
+				}
+			}
+		}
+	}
+	return s.result(runHist, ledger0, vol0), runErr
+}
+
+// result assembles a TrainResult for one run from its history and this
+// session's own accumulated charges since the run began (ledger0/vol0 are
+// the accumulator positions at run start).
+func (s *Session) result(hist []EpochResult, ledger0 *machine.Snapshot, vol0 *comm.VolumeSnapshot) *TrainResult {
+	res := &TrainResult{
+		History:          hist,
+		PartitionQuality: s.dg.quality,
+		Model:            s.Model(),
+	}
+	if len(hist) > 0 {
+		last := hist[len(hist)-1]
+		res.FinalLoss, res.FinalTrainAcc = last.Loss, last.TrainAcc
+		epochs := float64(len(hist))
+		per := s.spentLedger.Sub(ledger0).Scale(1 / epochs)
+		res.EpochSeconds = per.Total()
+		res.Breakdown = per.Breakdown()
+		const mb = 1e6
+		vol := s.spentVol.Sub(vol0)
+		res.MaxSentMB = float64(vol.MaxSent()) / epochs / mb
+		res.AvgSentMB = vol.AvgSent() / epochs / mb
+	}
+	// Evaluate the trained weights on the held-out splits with full-batch
+	// inference in the graph's (permuted) vertex order.
+	s.dg.cluster.mu.Lock()
+	eval := gcn.NewSerial(s.dg.aHat, s.dg.x, s.dg.labels, s.dg.train, s.stepper.Model(), s.cfg.LR)
+	eval.Variant = s.cfg.variant()
+	res.ValAcc = eval.Accuracy(s.dg.val)
+	res.TestAcc = eval.Accuracy(s.dg.test)
+	s.dg.cluster.mu.Unlock()
+	return res
+}
+
+// Predictor returns a serving handle over a snapshot of the current
+// weights, bound to the session's original dataset. Further training does
+// not affect it.
+func (s *Session) Predictor() *Predictor {
+	return &Predictor{model: s.Model(), ds: s.dg.ds}
+}
+
+// Checkpoint is a restorable snapshot of a session's training state: the
+// epoch counter and a detached copy of the weights. Checkpoints serialize
+// with MarshalBinary / LoadCheckpoint.
+type Checkpoint struct {
+	epoch int
+	sage  bool
+	model *gcn.Model
+}
+
+// Snapshot captures the session's current weights and epoch counter.
+func (s *Session) Snapshot() *Checkpoint {
+	s.dg.cluster.mu.Lock()
+	defer s.dg.cluster.mu.Unlock()
+	return &Checkpoint{epoch: s.stepper.Epoch(), sage: s.cfg.SAGE, model: s.stepper.Model().Clone()}
+}
+
+// Restore rewinds the session to a checkpoint: every rank's weight replica
+// is reset to the checkpointed parameters, optimizer state is re-created,
+// and the epoch counter is restored. The checkpoint's model shape and
+// variant must match the session's configuration.
+func (s *Session) Restore(ck *Checkpoint) error {
+	if ck == nil || ck.model == nil {
+		return fmt.Errorf("sagnn: nil checkpoint")
+	}
+	if ck.sage != s.cfg.SAGE {
+		return fmt.Errorf("sagnn: checkpoint variant (SAGE=%v) does not match session (SAGE=%v)", ck.sage, s.cfg.SAGE)
+	}
+	s.dg.cluster.mu.Lock()
+	defer s.dg.cluster.mu.Unlock()
+	if err := s.stepper.SetModel(ck.model); err != nil {
+		return fmt.Errorf("sagnn: checkpoint does not fit session: %w", err)
+	}
+	s.stepper.SetEpoch(ck.epoch)
+	// History keeps only results observed for epochs before the checkpoint:
+	// rewinding drops the replayed-over tail, and fast-forwarding (restoring
+	// a later checkpoint from disk) drops nothing it shouldn't — epochs this
+	// session never observed simply stay absent.
+	trimmed := s.history[:0]
+	for _, r := range s.history {
+		if r.Epoch < ck.epoch {
+			trimmed = append(trimmed, r)
+		}
+	}
+	s.history = trimmed
+	return nil
+}
+
+// Epoch returns the epoch count at which the checkpoint was taken.
+func (c *Checkpoint) Epoch() int { return c.epoch }
+
+// Model returns a detached copy of the checkpointed weights.
+func (c *Checkpoint) Model() *Model {
+	return &Model{m: c.model.Clone(), sage: c.sage}
+}
+
+// Checkpoint binary format (little-endian): magic "SGCK", version, epoch
+// (int64), SAGE flag, then the embedded model record.
+const (
+	checkpointMagic   = 0x5347434b // "SGCK"
+	checkpointVersion = 1
+)
+
+// MarshalBinary serialises the checkpoint.
+func (c *Checkpoint) MarshalBinary() ([]byte, error) {
+	if c.model == nil {
+		return nil, fmt.Errorf("sagnn: empty checkpoint")
+	}
+	var buf bytes.Buffer
+	var scratch [8]byte
+	le := binary.LittleEndian
+	le.PutUint32(scratch[:4], checkpointMagic)
+	buf.Write(scratch[:4])
+	le.PutUint32(scratch[:4], checkpointVersion)
+	buf.Write(scratch[:4])
+	le.PutUint64(scratch[:], uint64(c.epoch))
+	buf.Write(scratch[:])
+	if c.sage {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	mb, err := c.model.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(mb)
+	return buf.Bytes(), nil
+}
+
+// LoadCheckpoint parses a checkpoint serialised with MarshalBinary.
+func LoadCheckpoint(data []byte) (*Checkpoint, error) {
+	le := binary.LittleEndian
+	if len(data) < 17 {
+		return nil, fmt.Errorf("sagnn: truncated checkpoint (%d bytes)", len(data))
+	}
+	if magic := le.Uint32(data[:4]); magic != checkpointMagic {
+		return nil, fmt.Errorf("sagnn: bad checkpoint magic %#x", magic)
+	}
+	if ver := le.Uint32(data[4:8]); ver != checkpointVersion {
+		return nil, fmt.Errorf("sagnn: unsupported checkpoint version %d", ver)
+	}
+	epoch := int(int64(le.Uint64(data[8:16])))
+	if epoch < 0 {
+		return nil, fmt.Errorf("sagnn: negative checkpoint epoch %d", epoch)
+	}
+	sage := data[16] != 0
+	model := &gcn.Model{}
+	if err := model.UnmarshalBinary(data[17:]); err != nil {
+		return nil, err
+	}
+	return &Checkpoint{epoch: epoch, sage: sage, model: model}, nil
+}

@@ -1,0 +1,653 @@
+package sagnn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"sagnn/internal/distmm"
+)
+
+// trainSessionPath runs the composable API end to end with the same
+// parameters the legacy Train wrapper would use, returning the result and
+// the DistGraph (whose cluster exposes per-rank counters to the tests).
+func trainSessionPath(t *testing.T, ds *Dataset, p int, algo Algorithm, part Partitioner, epochs int, seed int64) (*TrainResult, *DistGraph) {
+	t.Helper()
+	cluster, err := NewCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(ds, DistOpts{Algorithm: algo, Partitioner: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dg.NewSession(ModelConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dg
+}
+
+// TestSessionMatchesLegacyTrainGolden pins the compatibility contract: the
+// composable Cluster→Distribute→Session path reproduces the legacy Train()
+// losses, accuracies, modeled times, and comm volumes bit-identically, and
+// two independent session runs produce bit-identical per-rank volumes (the
+// golden ledger).
+func TestSessionMatchesLegacyTrainGolden(t *testing.T) {
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	const epochs = 3
+
+	legacy := Train(TrainConfig{
+		Dataset:     ds,
+		Processes:   4,
+		Algorithm:   SparsityAware1D,
+		Partitioner: NewGVB(42),
+		Epochs:      epochs,
+		Seed:        7,
+	})
+	res, dg := trainSessionPath(t, ds, 4, SparsityAware1D, NewGVB(42), epochs, 7)
+
+	if len(res.History) != len(legacy.History) {
+		t.Fatalf("history %d vs legacy %d", len(res.History), len(legacy.History))
+	}
+	for i := range res.History {
+		if res.History[i].Loss != legacy.History[i].Loss {
+			t.Fatalf("epoch %d loss %v != legacy %v", i, res.History[i].Loss, legacy.History[i].Loss)
+		}
+		if res.History[i].TrainAcc != legacy.History[i].TrainAcc {
+			t.Fatalf("epoch %d acc %v != legacy %v", i, res.History[i].TrainAcc, legacy.History[i].TrainAcc)
+		}
+	}
+	if res.EpochSeconds != legacy.EpochSeconds {
+		t.Fatalf("EpochSeconds %v != legacy %v", res.EpochSeconds, legacy.EpochSeconds)
+	}
+	for ph, v := range legacy.Breakdown {
+		if res.Breakdown[ph] != v {
+			t.Fatalf("breakdown[%s] %v != legacy %v", ph, res.Breakdown[ph], v)
+		}
+	}
+	if res.MaxSentMB != legacy.MaxSentMB || res.AvgSentMB != legacy.AvgSentMB {
+		t.Fatalf("volumes (%v,%v) != legacy (%v,%v)", res.MaxSentMB, res.AvgSentMB, legacy.MaxSentMB, legacy.AvgSentMB)
+	}
+	if res.ValAcc != legacy.ValAcc || res.TestAcc != legacy.TestAcc {
+		t.Fatalf("eval (%v,%v) != legacy (%v,%v)", res.ValAcc, res.TestAcc, legacy.ValAcc, legacy.TestAcc)
+	}
+	if res.Model == nil || legacy.Model == nil {
+		t.Fatal("trained model not exposed")
+	}
+
+	// Per-rank golden volumes: an identical independent run must charge
+	// every rank exactly the same bytes.
+	_, dg2 := trainSessionPath(t, ds, 4, SparsityAware1D, NewGVB(42), epochs, 7)
+	v1 := dg.cluster.world.Stats().Snapshot()
+	v2 := dg2.cluster.world.Stats().Snapshot()
+	for r := 0; r < 4; r++ {
+		if v1.BytesSent(r) != v2.BytesSent(r) || v1.BytesRecv(r) != v2.BytesRecv(r) {
+			t.Fatalf("rank %d volumes differ: sent %d vs %d, recv %d vs %d",
+				r, v1.BytesSent(r), v2.BytesSent(r), v1.BytesRecv(r), v2.BytesRecv(r))
+		}
+	}
+}
+
+// TestDistributeReusedAcrossSessions is the build-once/train-many
+// acceptance test: one Distribute backs multiple sessions with different
+// seeds, no engine is rebuilt, per-run comm volumes match the golden
+// ledger bit-identically, and — the regression the old Ledger.Scale bug
+// caused — the second run reports the same EpochSeconds as the first.
+func TestDistributeReusedAcrossSessions(t *testing.T) {
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(ds, DistOpts{Algorithm: SparsityAware1D, Partitioner: NewGVB(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := distmm.EngineBuilds()
+
+	world := dg.cluster.world
+	type run struct {
+		res  *TrainResult
+		sent []int64
+	}
+	var runs []run
+	for _, seed := range []int64{7, 99} {
+		before := world.Stats().Snapshot()
+		sess, err := dg.NewSession(ModelConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(context.Background(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := world.Stats().Snapshot().Sub(before)
+		sent := make([]int64, cluster.Processes())
+		for r := range sent {
+			sent[r] = delta.BytesSent(r)
+		}
+		runs = append(runs, run{res: res, sent: sent})
+	}
+
+	if got := distmm.EngineBuilds(); got != builds {
+		t.Fatalf("engine rebuilt: %d builds during sessions", got-builds)
+	}
+	// Different seeds → different trajectories, same communication.
+	if runs[0].res.FinalLoss == runs[1].res.FinalLoss {
+		t.Fatal("different seeds produced identical losses")
+	}
+	for r := range runs[0].sent {
+		if runs[0].sent[r] != runs[1].sent[r] {
+			t.Fatalf("rank %d: run volumes differ %d vs %d (schedule not reused?)",
+				r, runs[0].sent[r], runs[1].sent[r])
+		}
+	}
+	// The second run must report the same per-epoch figures as the first:
+	// under the old Ledger.Scale(1/epochs) mutation it would have read a
+	// corrupted ledger (off by the first run's epoch count). Times come from
+	// a floating-point delta against a moving baseline, so allow rounding at
+	// the last ulp; volumes are integer-exact.
+	a, b := runs[0].res.EpochSeconds, runs[1].res.EpochSeconds
+	if math.Abs(a-b) > 1e-9*math.Abs(a) {
+		t.Fatalf("EpochSeconds drifted across runs on one world: %v vs %v", a, b)
+	}
+	if runs[0].res.MaxSentMB != runs[1].res.MaxSentMB {
+		t.Fatalf("MaxSentMB drifted across runs: %v vs %v", runs[0].res.MaxSentMB, runs[1].res.MaxSentMB)
+	}
+
+	// Same seed on the same DistGraph reproduces the first run exactly:
+	// sessions are independent (fresh replicas/optimizers), not resumed.
+	sess, err := dg.NewSession(ModelConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.History {
+		if res.History[i].Loss != runs[0].res.History[i].Loss {
+			t.Fatalf("epoch %d: seed-7 rerun loss %v != original %v", i, res.History[i].Loss, runs[0].res.History[i].Loss)
+		}
+	}
+}
+
+// TestConcurrentRunsIsolatedAccounting runs two sessions on two different
+// DistGraphs of one shared cluster concurrently: each run's reported
+// volumes must match a solo run exactly (per-step attribution under the
+// cluster step lock), not include the other run's traffic.
+func TestConcurrentRunsIsolatedAccounting(t *testing.T) {
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	const epochs = 3
+
+	solo := func(algo Algorithm) *TrainResult {
+		res, _ := trainSessionPath(t, ds, 4, algo, nil, epochs, 7)
+		return res
+	}
+	soloSA, soloObl := solo(SparsityAware1D), solo(Oblivious1D)
+
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dgSA, err := cluster.Distribute(ds, DistOpts{Algorithm: SparsityAware1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dgObl, err := cluster.Distribute(ds, DistOpts{Algorithm: Oblivious1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*TrainResult, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, dg := range []*DistGraph{dgSA, dgObl} {
+		wg.Add(1)
+		go func(i int, dg *DistGraph) {
+			defer wg.Done()
+			sess, err := dg.NewSession(ModelConfig{Seed: 7})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = sess.Run(context.Background(), epochs)
+		}(i, dg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range []*TrainResult{soloSA, soloObl} {
+		got := results[i]
+		if got.MaxSentMB != want.MaxSentMB || got.AvgSentMB != want.AvgSentMB {
+			t.Fatalf("run %d: concurrent volumes (%v,%v) != solo (%v,%v) — cross-session leakage",
+				i, got.MaxSentMB, got.AvgSentMB, want.MaxSentMB, want.AvgSentMB)
+		}
+		if math.Abs(got.EpochSeconds-want.EpochSeconds) > 1e-9*want.EpochSeconds {
+			t.Fatalf("run %d: concurrent EpochSeconds %v != solo %v", i, got.EpochSeconds, want.EpochSeconds)
+		}
+		if got.FinalLoss != want.FinalLoss {
+			t.Fatalf("run %d: concurrent loss %v != solo %v", i, got.FinalLoss, want.FinalLoss)
+		}
+	}
+}
+
+// TestSessionStepMatchesRun verifies Step-by-step training is the same
+// computation as Run.
+func TestSessionStepMatchesRun(t *testing.T) {
+	ds := MustLoadDataset(RedditSim, 42, 64)
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(ds, DistOpts{Algorithm: Oblivious1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := dg.NewSession(ModelConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s1.Run(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := dg.NewSession(ModelConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		step, err := s2.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step.Epoch != i {
+			t.Fatalf("step %d numbered %d", i, step.Epoch)
+		}
+		if step.Loss != res.History[i].Loss {
+			t.Fatalf("epoch %d: Step loss %v != Run loss %v", i, step.Loss, res.History[i].Loss)
+		}
+	}
+	if s2.Epoch() != 4 || len(s2.History()) != 4 {
+		t.Fatalf("epoch %d, history %d", s2.Epoch(), len(s2.History()))
+	}
+}
+
+// TestCheckpointRoundTrip trains, snapshots, trains on, restores, and
+// retrains: the replayed epochs must be bit-identical. The checkpoint also
+// survives serialization.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(ds, DistOpts{Algorithm: SparsityAware1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dg.NewSession(ModelConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	ck := sess.Snapshot()
+	if ck.Epoch() != 3 {
+		t.Fatalf("checkpoint at epoch %d", ck.Epoch())
+	}
+
+	first, err := sess.Run(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-memory restore.
+	if err := sess.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Epoch() != 3 {
+		t.Fatalf("restored to epoch %d", sess.Epoch())
+	}
+	replay, err := sess.Run(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range replay.History {
+		if replay.History[i].Loss != first.History[i].Loss ||
+			replay.History[i].Epoch != first.History[i].Epoch {
+			t.Fatalf("epoch %d: replay %+v != original %+v", i, replay.History[i], first.History[i])
+		}
+	}
+
+	// Serialized restore.
+	blob, err := ck.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Epoch() != ck.Epoch() {
+		t.Fatalf("loaded epoch %d != %d", loaded.Epoch(), ck.Epoch())
+	}
+	if err := sess.Restore(loaded); err != nil {
+		t.Fatal(err)
+	}
+	replay2, err := sess.Run(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range replay2.History {
+		if replay2.History[i].Loss != first.History[i].Loss {
+			t.Fatalf("epoch %d: serialized replay %v != original %v", i, replay2.History[i].Loss, first.History[i].Loss)
+		}
+	}
+
+	// Fast-forward restore into a fresh session: the epoch counter jumps,
+	// history stays consistent (only observed epochs, correctly numbered).
+	fresh, err := dg.NewSession(ModelConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(loaded); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Epoch() != 3 || len(fresh.History()) != 0 {
+		t.Fatalf("fast-forward: epoch %d, history %d", fresh.Epoch(), len(fresh.History()))
+	}
+	step, err := fresh.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Epoch != 3 || step.Loss != first.History[0].Loss {
+		t.Fatalf("fast-forward step %+v, want epoch 3 loss %v", step, first.History[0].Loss)
+	}
+	if h := fresh.History(); len(h) != 1 || h[0].Epoch != 3 {
+		t.Fatalf("fast-forward history %+v", h)
+	}
+
+	// Shape mismatches are errors, not panics.
+	other, err := dg.NewSession(ModelConfig{Seed: 1, Hidden: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(ck); err == nil {
+		t.Fatal("restored a 16-hidden checkpoint into an 8-hidden session")
+	}
+	if err := sess.Restore(nil); err == nil {
+		t.Fatal("restored a nil checkpoint")
+	}
+	if _, err := LoadCheckpoint(blob[:10]); err == nil {
+		t.Fatal("loaded a truncated checkpoint")
+	}
+}
+
+// TestRunContextCancellation stops a run mid-flight via context and via
+// callbacks, checking partial results come back in both cases.
+func TestRunContextCancellation(t *testing.T) {
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(ds, DistOpts{Algorithm: SparsityAware1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel from an epoch callback after the second epoch.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess, err := dg.NewSession(ModelConfig{Seed: 7}, WithEpochCallback(func(e EpochResult) error {
+		if e.Epoch == 1 {
+			cancel()
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(ctx, 50)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("ran %d epochs after cancellation at epoch 1", len(res.History))
+	}
+	if res.FinalLoss == 0 || math.IsNaN(res.FinalLoss) {
+		t.Fatalf("partial result not populated: %+v", res)
+	}
+
+	// Early stopping via ErrStopTraining is a clean stop.
+	sess2, err := dg.NewSession(ModelConfig{Seed: 7}, WithEpochCallback(func(e EpochResult) error {
+		if e.Epoch >= 2 {
+			return ErrStopTraining
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sess2.Run(context.Background(), 50)
+	if err != nil {
+		t.Fatalf("early stop should be clean, got %v", err)
+	}
+	if len(res2.History) != 3 {
+		t.Fatalf("early stop ran %d epochs", len(res2.History))
+	}
+
+	// Any other callback error aborts and surfaces.
+	boom := errors.New("boom")
+	sess3, err := dg.NewSession(ModelConfig{Seed: 7}, WithEpochCallback(func(EpochResult) error { return boom }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess3.Run(context.Background(), 3); !errors.Is(err, boom) {
+		t.Fatalf("want callback error, got %v", err)
+	}
+}
+
+// TestPredictorServing covers the inference path: session → predictor,
+// model → predict, serialization round-trips, and input validation.
+func TestPredictorServing(t *testing.T) {
+	ds := GenerateCommunityDataset("comms", 512, 4, 10, 2, 16, 0.3, 19)
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(ds, DistOpts{Algorithm: SparsityAware1D, Partitioner: NewGVB(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dg.NewSession(ModelConfig{Seed: 5, LR: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pred := sess.Predictor()
+	acc, err := pred.Accuracy(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("predictor test accuracy %v too low (chance = 0.25)", acc)
+	}
+	if math.Abs(acc-res.TestAcc) > 0.1 {
+		t.Fatalf("predictor acc %v far from training eval %v", acc, res.TestAcc)
+	}
+
+	// Model.Predict must agree with the predictor.
+	direct, err := res.Model.Predict(ds, ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := pred.Predict(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i] != served[i] {
+			t.Fatalf("vertex %d: model %d vs predictor %d", ds.Test[i], direct[i], served[i])
+		}
+	}
+
+	// Probabilities are rows of a distribution.
+	probs, err := pred.Probabilities([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range probs {
+		sum := 0.0
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probability row sums to %v", sum)
+		}
+	}
+
+	// Serialization round-trip preserves predictions.
+	blob, err := res.Model.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := loaded.Predict(ds, ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i] != again[i] {
+			t.Fatalf("vertex %d: prediction changed after round-trip", ds.Test[i])
+		}
+	}
+
+	// Validation: out-of-range vertices and mismatched datasets error.
+	if _, err := pred.Predict([]int{-1}); err == nil {
+		t.Fatal("predicted vertex -1")
+	}
+	if _, err := pred.Predict([]int{ds.G.NumVertices()}); err == nil {
+		t.Fatal("predicted out-of-range vertex")
+	}
+	other := GenerateCommunityDataset("wrong", 128, 4, 6, 2, 8, 0.3, 3) // feature width 8 ≠ 16
+	if _, err := res.Model.Predict(other, nil); err == nil {
+		t.Fatal("predicted on mismatched feature width")
+	}
+}
+
+// TestNewAPIValidation checks public entry points return errors (not
+// panics) on bad input.
+func TestNewAPIValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("NewCluster(0)")
+	}
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Distribute(nil, DistOpts{Algorithm: Oblivious1D}); err == nil {
+		t.Fatal("Distribute(nil)")
+	}
+	ds := MustLoadDataset(ProteinSim, 42, 64)
+	if _, err := cluster.Distribute(ds, DistOpts{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm")
+	}
+	if _, err := cluster.Distribute(ds, DistOpts{Algorithm: Oblivious1D, Replication: 2}); err == nil {
+		t.Fatal("1D with replication 2")
+	}
+	if _, err := cluster.Distribute(ds, DistOpts{Algorithm: Oblivious15D, Replication: 3}); err == nil {
+		t.Fatal("replication 3 on 4 processes")
+	}
+	dg, err := cluster.Distribute(ds, DistOpts{Algorithm: Oblivious1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dg.NewSession(ModelConfig{Layers: -1}); err == nil {
+		t.Fatal("negative layers")
+	}
+	if _, err := dg.NewSession(ModelConfig{LR: -0.1}); err == nil {
+		t.Fatal("negative learning rate")
+	}
+	sess, err := dg.NewSession(ModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background(), 0); err == nil {
+		t.Fatal("zero epochs")
+	}
+
+	if _, err := RunSerial(nil, 5, ModelConfig{}); err == nil {
+		t.Fatal("RunSerial(nil)")
+	}
+	if _, err := RunSerial(ds, 0, ModelConfig{}); err == nil {
+		t.Fatal("RunSerial 0 epochs")
+	}
+	if _, err := RunMiniBatch(nil, 5, ModelConfig{}); err == nil {
+		t.Fatal("RunMiniBatch(nil)")
+	}
+	if _, err := RunMiniBatch(ds, 5, ModelConfig{}, WithFanout(0)); err == nil {
+		t.Fatal("fanout 0")
+	}
+	if _, err := RunMiniBatch(ds, 5, ModelConfig{}, WithBatchSize(0)); err == nil {
+		t.Fatal("batch size 0")
+	}
+	if _, err := RunMiniBatch(ds, 5, ModelConfig{SAGE: true}); err == nil {
+		t.Fatal("mini-batch SAGE")
+	}
+}
+
+// TestRunSerialAndMiniBatchResults checks the refreshed local entry points
+// train and expose their models.
+func TestRunSerialAndMiniBatchResults(t *testing.T) {
+	ds := GenerateCommunityDataset("social", 512, 4, 10, 2, 16, 0.3, 7)
+	serial, err := RunSerial(ds, 20, ModelConfig{LR: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.History) != 20 {
+		t.Fatalf("history %d", len(serial.History))
+	}
+	if serial.History[19].Loss >= serial.History[0].Loss {
+		t.Fatal("serial loss did not improve")
+	}
+	if serial.Model == nil {
+		t.Fatal("serial model missing")
+	}
+	if _, err := serial.Model.Predict(ds, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+
+	mb, err := RunMiniBatch(ds, 5, ModelConfig{LR: 0.01, Seed: 5}, WithFanout(4), WithBatchSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mb.EpochLoss) != 5 || mb.Model == nil {
+		t.Fatalf("bad minibatch result: %d losses, model %v", len(mb.EpochLoss), mb.Model)
+	}
+	// Legacy wrapper equivalence.
+	legacy := TrainMiniBatch(ds, 5, 16, 3, 4, 128, 0.01, 5)
+	for i := range legacy.EpochLoss {
+		if legacy.EpochLoss[i] != mb.EpochLoss[i] {
+			t.Fatalf("epoch %d: wrapper %v != RunMiniBatch %v", i, legacy.EpochLoss[i], mb.EpochLoss[i])
+		}
+	}
+}
