@@ -1,0 +1,327 @@
+package sagnn
+
+import (
+	"math"
+	"testing"
+)
+
+// autoDS builds a small community dataset the auto-selection tests share.
+func autoDS() *Dataset {
+	return GenerateCommunityDataset("auto-test", 256, 4, 8, 2, 12, 0.2, 7)
+}
+
+// TestEstimateTableShape checks the full candidate table: every trainable
+// candidate plus the 2D kernels, feasibility reasons on the rows the
+// process count forbids, and exactly one Selected trainable row at the
+// minimum modeled cost.
+func TestEstimateTableShape(t *testing.T) {
+	ds := autoDS()
+	cluster, err := NewCluster(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := cluster.Estimate(ds, DistOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P=8: 1D ×2 and c=2 ×2 feasible; c=4 ×2 skipped (c²∤P); 2D ×2 skipped
+	// (non-square): 8 rows.
+	if len(cands) != 8 {
+		t.Fatalf("got %d candidates: %+v", len(cands), cands)
+	}
+	selected, minCost, minIdx := -1, math.Inf(1), -1
+	for i, c := range cands {
+		switch c.Algorithm {
+		case Oblivious15D, SparsityAware15D:
+			if c.Replication == 4 && c.Skipped == "" {
+				t.Errorf("c=4 candidate should be skipped at P=8: %+v", c)
+			}
+		case Oblivious2D, SparsityAware2D:
+			if c.Skipped == "" {
+				t.Errorf("2D candidate should be skipped at P=8: %+v", c)
+			}
+			if c.Selected {
+				t.Errorf("2D candidate must never be selected: %+v", c)
+			}
+		}
+		if c.Skipped != "" {
+			if c.EpochSeconds != 0 {
+				t.Errorf("skipped candidate has a cost: %+v", c)
+			}
+			continue
+		}
+		if c.EpochSeconds <= 0 || c.MaxSentMB < 0 || len(c.Breakdown) == 0 {
+			t.Errorf("priced candidate missing fields: %+v", c)
+		}
+		if c.Selected {
+			if selected >= 0 {
+				t.Fatalf("two selected candidates: %d and %d", selected, i)
+			}
+			selected = i
+		}
+		if c.Algorithm != Oblivious2D && c.Algorithm != SparsityAware2D && c.EpochSeconds < minCost {
+			minCost, minIdx = c.EpochSeconds, i
+		}
+	}
+	if selected < 0 {
+		t.Fatal("no candidate selected")
+	}
+	if selected != minIdx {
+		t.Fatalf("selected %+v, but min modeled cost is %+v", cands[selected], cands[minIdx])
+	}
+}
+
+// TestAutoSelectsMinCostDeterministically pins the tentpole behavior:
+// Distribute with AlgorithmAuto picks exactly the candidate Estimate marks
+// Selected, records the full table in Report, and makes the same choice on
+// every run.
+func TestAutoSelectsMinCostDeterministically(t *testing.T) {
+	ds := autoDS()
+	var firstAlg Algorithm
+	firstRep := -1
+	for trial := 0; trial < 2; trial++ {
+		cluster, err := NewCluster(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands, err := cluster.Estimate(ds, DistOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dg, err := cluster.Distribute(ds, DistOpts{Algorithm: AlgorithmAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := dg.Report()
+		if !rep.Auto {
+			t.Fatal("report should record the Auto decision")
+		}
+		var want *Candidate
+		for i := range cands {
+			if cands[i].Selected {
+				want = &cands[i]
+			}
+		}
+		if want == nil || rep.Algorithm != want.Algorithm || rep.Replication != want.Replication {
+			t.Fatalf("Distribute chose %s/c=%d, Estimate selected %+v", rep.Algorithm, rep.Replication, want)
+		}
+		if dg.Algorithm() != rep.Algorithm {
+			t.Fatalf("DistGraph.Algorithm()=%s, report says %s", dg.Algorithm(), rep.Algorithm)
+		}
+		// The report's table must contain the same priced candidates, with
+		// exactly the winner marked.
+		nSel := 0
+		for _, c := range rep.Candidates {
+			if c.Selected {
+				nSel++
+				if c.EpochSeconds != want.EpochSeconds {
+					t.Fatalf("report winner cost %g, estimate winner cost %g", c.EpochSeconds, want.EpochSeconds)
+				}
+			}
+		}
+		if nSel != 1 {
+			t.Fatalf("%d selected rows in report", nSel)
+		}
+		if trial == 0 {
+			firstAlg, firstRep = rep.Algorithm, rep.Replication
+		} else if rep.Algorithm != firstAlg || rep.Replication != firstRep {
+			t.Fatalf("non-deterministic selection: %s/c=%d vs %s/c=%d", rep.Algorithm, rep.Replication, firstAlg, firstRep)
+		}
+	}
+}
+
+// TestAutoGraphTrains confirms the auto-selected DistGraph is a fully
+// working graph: a session steps and the loss is finite.
+func TestAutoGraphTrains(t *testing.T) {
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(autoDS(), DistOpts{Algorithm: AlgorithmAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dg.NewSession(ModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Loss) || res.Loss <= 0 {
+		t.Fatalf("loss %v", res.Loss)
+	}
+}
+
+// TestAutoWithPartitioner checks the partition-per-k path: Auto with a
+// partitioner records the winner's partition quality.
+func TestAutoWithPartitioner(t *testing.T) {
+	cluster, err := NewCluster(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(autoDS(), DistOpts{Algorithm: AlgorithmAuto, Partitioner: NewGVB(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.PartitionQuality() == nil {
+		t.Fatal("partition quality missing")
+	}
+	if dg.Report().PartitionQuality == nil {
+		t.Fatal("report partition quality missing")
+	}
+}
+
+// TestExplicitAlgorithmReport checks the non-Auto report: a single
+// self-priced, selected candidate matching the request.
+func TestExplicitAlgorithmReport(t *testing.T) {
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(autoDS(), DistOpts{Algorithm: SparsityAware1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := dg.Report()
+	if rep.Auto {
+		t.Fatal("explicit algorithm reported as Auto")
+	}
+	if rep.Algorithm != SparsityAware1D || len(rep.Candidates) != 1 || !rep.Candidates[0].Selected {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Candidates[0].EpochSeconds <= 0 {
+		t.Fatalf("unpriced candidate %+v", rep.Candidates[0])
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+// TestDistributeRejects2DAndBadAutoOpts pins the error surface: 2D
+// algorithms are Estimate-only, and Auto owns the replication choice.
+func TestDistributeRejects2DAndBadAutoOpts(t *testing.T) {
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := autoDS()
+	if _, err := cluster.Distribute(ds, DistOpts{Algorithm: Oblivious2D}); err == nil {
+		t.Fatal("expected error for 2D algorithm in Distribute")
+	}
+	if _, err := cluster.Distribute(ds, DistOpts{Algorithm: AlgorithmAuto, Replication: 2}); err == nil {
+		t.Fatal("expected error for Auto with explicit replication")
+	}
+}
+
+// TestEstimatePrices2DOnSquareP checks that square process counts price
+// the 2D kernels (reaching the validated 2D grid constructor from the root
+// API) instead of skipping them.
+func TestEstimatePrices2DOnSquareP(t *testing.T) {
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := cluster.Estimate(autoDS(), DistOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2d := 0
+	for _, c := range cands {
+		if c.Algorithm == Oblivious2D || c.Algorithm == SparsityAware2D {
+			n2d++
+			if c.Skipped != "" {
+				t.Errorf("2D candidate skipped at square P: %+v", c)
+			}
+			if c.EpochSeconds <= 0 {
+				t.Errorf("2D candidate unpriced: %+v", c)
+			}
+		}
+	}
+	if n2d != 2 {
+		t.Fatalf("%d 2D rows", n2d)
+	}
+}
+
+// TestCostModelValidated pins that a malformed CostModel surfaces as an
+// error from the root entry points instead of a panic deep in the stack.
+func TestCostModelValidated(t *testing.T) {
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := autoDS()
+	bad := ModelConfig{Layers: -1}
+	if _, err := cluster.Estimate(ds, DistOpts{CostModel: bad}); err == nil {
+		t.Fatal("Estimate accepted a negative layer count")
+	}
+	if _, err := cluster.Distribute(ds, DistOpts{Algorithm: SparsityAware1D, CostModel: bad}); err == nil {
+		t.Fatal("Distribute accepted a negative layer count")
+	}
+	if _, err := cluster.Distribute(ds, DistOpts{Algorithm: AlgorithmAuto, CostModel: bad}); err == nil {
+		t.Fatal("Auto Distribute accepted a negative layer count")
+	}
+}
+
+// TestEpochWidthsMatchTrainerMultiplies pins the priced epoch to the
+// multiplies the trainer actually issues: L forward multiplies at the layer
+// input widths, then L−1 backward multiplies — output-gradient widths for
+// the GCN convolution, layer-input widths for SAGEConv (the backward
+// multiply runs on the aggregated-path split of G·Wᵀ).
+func TestEpochWidthsMatchTrainerMultiplies(t *testing.T) {
+	ds := autoDS() // 12 features, 4 classes → dims [12 16 16 4]
+	gcnW, err := epochWidths(ds, ModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{12, 16, 16, 4, 16}; !equalInts(gcnW, want) {
+		t.Fatalf("GCN widths %v, want %v", gcnW, want)
+	}
+	sageW, err := epochWidths(ds, ModelConfig{SAGE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{12, 16, 16, 16, 16}; !equalInts(sageW, want) {
+		t.Fatalf("SAGE widths %v, want %v", sageW, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReportDetached pins that mutating a returned Report (including its
+// Breakdown maps) does not corrupt the graph's internal record.
+func TestReportDetached(t *testing.T) {
+	cluster, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cluster.Distribute(autoDS(), DistOpts{Algorithm: SparsityAware1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dg.Report()
+	for ph := range r.Candidates[0].Breakdown {
+		r.Candidates[0].Breakdown[ph] = -1
+	}
+	r.Candidates[0].Selected = false
+	fresh := dg.Report()
+	if !fresh.Candidates[0].Selected {
+		t.Fatal("report slice not detached")
+	}
+	for ph, v := range fresh.Candidates[0].Breakdown {
+		if v < 0 {
+			t.Fatalf("report breakdown aliased: %s = %v", ph, v)
+		}
+	}
+}

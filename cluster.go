@@ -75,13 +75,23 @@ func (c *Cluster) Processes() int { return c.p }
 // DistOpts configures how a dataset is distributed across a cluster.
 type DistOpts struct {
 	// Algorithm selects the distributed SpMM engine. Required.
+	// AlgorithmAuto compiles candidate plans and picks the minimum
+	// modeled-cost one (see DistGraph.Report for the decision table).
 	Algorithm Algorithm
 	// Replication is the 1.5D replication factor c (default 1, which the
-	// 1D algorithms require). Must satisfy c | P and c² | P.
+	// 1D algorithms require). Must satisfy c | P and c² | P. Leave unset
+	// with AlgorithmAuto, which selects c itself.
 	Replication int
 	// Partitioner, if non-nil, reorders the graph before distribution and
-	// records the resulting partition quality on the DistGraph.
+	// records the resulting partition quality on the DistGraph. Under
+	// AlgorithmAuto it runs once per distinct block count the candidates
+	// need.
 	Partitioner Partitioner
+	// CostModel shapes the training epoch that AlgorithmAuto and
+	// Cluster.Estimate price: the modeled epoch is the sequence of
+	// distributed SpMMs a GCN of this configuration performs. The zero
+	// value selects the ModelConfig defaults (3 layers, 16 hidden).
+	CostModel ModelConfig
 }
 
 // DistGraph is a dataset distributed across a cluster: the permuted
@@ -104,14 +114,69 @@ type DistGraph struct {
 	layout           distmm.Layout
 	engine           distmm.Engine
 	quality          *partition.Quality
+	report           *Report
+}
+
+// prepared is a dataset staged for a k-block distribution: the (optionally
+// permuted) normalized adjacency, relabeled features/labels/splits, the
+// block-row layout, and the partition quality when a partitioner ran.
+type prepared struct {
+	aHat             *sparse.CSR
+	x                *dense.Matrix
+	labels           []int
+	train, val, test []int
+	layout           distmm.Layout
+	quality          *partition.Quality
+}
+
+// prepare stages ds for a k-block distribution, running pt (if non-nil) to
+// reorder the graph. This is the partitioning half of the expensive setup;
+// AlgorithmAuto caches it per distinct k across candidates.
+func prepare(ds *Dataset, pt Partitioner, k int) *prepared {
+	p := &prepared{
+		aHat:   ds.G.NormalizedAdjacency(),
+		x:      ds.Features,
+		labels: ds.Labels,
+		train:  ds.Train, val: ds.Val, test: ds.Test,
+	}
+	if pt != nil {
+		part := pt.Partition(ds.G, k)
+		q := partition.Evaluate(pt.Name(), ds.G, part)
+		p.quality = &q
+		perm := part.Perm()
+		p.aHat = p.aHat.PermuteSymmetric(perm)
+		var sets [][]int
+		p.x, p.labels, sets = gcn.ApplyPerm(perm, p.x, p.labels, p.train, p.val, p.test)
+		p.train, p.val, p.test = sets[0], sets[1], sets[2]
+		p.layout = distmm.LayoutFromOffsets(part.Offsets())
+	} else {
+		p.layout = distmm.UniformLayout(ds.G.NumVertices(), k)
+	}
+	return p
+}
+
+// buildEngine compiles the plan and executor for one trainable algorithm
+// over prepared data. Algorithm consts are exactly the distmm engine
+// names, so this is a thin wrapper over the name-based constructor.
+func buildEngine(w *comm.World, alg Algorithm, rep int, prep *prepared) distmm.Engine {
+	e, err := distmm.NewEngine(w, string(alg), rep, prep.aHat, prep.layout)
+	if err != nil {
+		panic(fmt.Sprintf("sagnn: buildEngine on non-trainable algorithm %q", alg))
+	}
+	return e
 }
 
 // Distribute partitions (optionally) and distributes a dataset across the
 // cluster, building the communication engine once for reuse by any number
-// of sessions.
+// of sessions. With Algorithm: AlgorithmAuto it compiles every candidate
+// plan the process count allows, prices each with the cluster's machine
+// model, and keeps the cheapest; Report exposes the decision table.
 func (c *Cluster) Distribute(ds *Dataset, opts DistOpts) (*DistGraph, error) {
 	if err := validateDataset(ds); err != nil {
 		return nil, err
+	}
+	if opts.Algorithm == AlgorithmAuto {
+		return c.distributeAuto(ds, opts)
 	}
 	if opts.Replication == 0 {
 		opts.Replication = 1
@@ -129,6 +194,8 @@ func (c *Cluster) Distribute(ds *Dataset, opts DistOpts) (*DistGraph, error) {
 		if (c.p/rep)%rep != 0 {
 			return nil, fmt.Errorf("sagnn: 1.5D needs c² | P; got P=%d c=%d", c.p, rep)
 		}
+	case Oblivious2D, SparsityAware2D:
+		return nil, fmt.Errorf("sagnn: %s is a standalone SpMM kernel without trainer wiring; use Cluster.Estimate to price it", opts.Algorithm)
 	default:
 		return nil, fmt.Errorf("sagnn: unknown algorithm %q", opts.Algorithm)
 	}
@@ -137,51 +204,40 @@ func (c *Cluster) Distribute(ds *Dataset, opts DistOpts) (*DistGraph, error) {
 		return nil, fmt.Errorf("sagnn: %d vertices cannot fill %d blocks", ds.G.NumVertices(), k)
 	}
 
-	aHat := ds.G.NormalizedAdjacency()
-	x, labels := ds.Features, ds.Labels
-	train, val, test := ds.Train, ds.Val, ds.Test
-	var layout distmm.Layout
-	var quality *partition.Quality
-	if opts.Partitioner != nil {
-		part := opts.Partitioner.Partition(ds.G, k)
-		q := partition.Evaluate(opts.Partitioner.Name(), ds.G, part)
-		quality = &q
-		perm := part.Perm()
-		aHat = aHat.PermuteSymmetric(perm)
-		var sets [][]int
-		x, labels, sets = gcn.ApplyPerm(perm, x, labels, train, val, test)
-		train, val, test = sets[0], sets[1], sets[2]
-		layout = distmm.LayoutFromOffsets(part.Offsets())
-	} else {
-		layout = distmm.UniformLayout(ds.G.NumVertices(), k)
+	widths, err := epochWidths(ds, opts.CostModel)
+	if err != nil {
+		return nil, err
 	}
+	prep := prepare(ds, opts.Partitioner, k)
+	engine := buildEngine(c.world, opts.Algorithm, rep, prep)
+	cand := priceCandidate(opts.Algorithm, engine.Plan(), c.world.Params, widths)
+	cand.Selected = true
+	return c.newDistGraph(ds, opts, prep, engine, &Report{
+		Algorithm:        opts.Algorithm,
+		Replication:      rep,
+		Candidates:       []Candidate{cand},
+		PartitionQuality: prep.quality,
+	}), nil
+}
 
-	var engine distmm.Engine
-	switch opts.Algorithm {
-	case Oblivious1D:
-		engine = distmm.NewOblivious1D(c.world, aHat, layout)
-	case SparsityAware1D:
-		engine = distmm.NewSparsityAware1D(c.world, aHat, layout)
-	case Oblivious15D:
-		engine = distmm.NewOblivious15D(c.world, aHat, rep, layout)
-	case SparsityAware15D:
-		engine = distmm.NewSparsityAware15D(c.world, aHat, rep, layout)
-	}
-
+// newDistGraph assembles a DistGraph from its prepared data, engine, and
+// decision report.
+func (c *Cluster) newDistGraph(ds *Dataset, opts DistOpts, prep *prepared, engine distmm.Engine, report *Report) *DistGraph {
 	return &DistGraph{
 		cluster: c,
 		ds:      ds,
 		opts:    opts,
-		aHat:    aHat,
-		x:       x,
-		labels:  labels,
-		train:   train,
-		val:     val,
-		test:    test,
-		layout:  layout,
+		aHat:    prep.aHat,
+		x:       prep.x,
+		labels:  prep.labels,
+		train:   prep.train,
+		val:     prep.val,
+		test:    prep.test,
+		layout:  prep.layout,
 		engine:  engine,
-		quality: quality,
-	}, nil
+		quality: prep.quality,
+		report:  report,
+	}
 }
 
 // Cluster returns the cluster this graph is distributed over.
@@ -190,8 +246,9 @@ func (g *DistGraph) Cluster() *Cluster { return g.cluster }
 // Dataset returns the original (un-permuted) dataset.
 func (g *DistGraph) Dataset() *Dataset { return g.ds }
 
-// Algorithm returns the distributed SpMM algorithm in use.
-func (g *DistGraph) Algorithm() Algorithm { return g.opts.Algorithm }
+// Algorithm returns the distributed SpMM algorithm in use — the selected
+// one when Distribute ran with AlgorithmAuto.
+func (g *DistGraph) Algorithm() Algorithm { return g.report.Algorithm }
 
 // PartitionQuality describes the partition when a Partitioner ran, else nil.
 func (g *DistGraph) PartitionQuality() *partition.Quality { return g.quality }

@@ -6,9 +6,15 @@
 //	gnnbench -exp table2|fig3|fig4|fig5|fig6|fig7|ablation|all \
 //	         [-dataset reddit-sim|amazon-sim|protein-sim|papers-sim] \
 //	         [-scalediv N] [-seed S]
+//	gnnbench -estimate [-p N] [-dataset ...] [-scalediv N] [-seed S]
 //
 // -scalediv divides the preset dataset sizes by a power-of-two factor;
 // 1 runs the full preset sizes (slow), 4 is a good laptop default.
+//
+// -estimate prints the predicted-vs-measured cost table without training:
+// every algorithm candidate (1D, 1.5D over c ∈ {2,4}, 2D where P is
+// square) priced from its compiled communication plan, verified against
+// the volumes of one executed SpMM.
 package main
 
 import (
@@ -26,9 +32,20 @@ func main() {
 	dataset := flag.String("dataset", "", "restrict to one dataset preset (default: the paper's set per experiment)")
 	scaleDiv := flag.Int("scalediv", 4, "divide preset dataset sizes by this power-of-two factor (1 = full)")
 	seed := flag.Int64("seed", 42, "random seed")
+	estimate := flag.Bool("estimate", false, "print the predicted-vs-measured cost table (no training) and exit")
+	procs := flag.Int("p", 16, "process count for -estimate")
 	flag.Parse()
 
 	t0 := time.Now()
+	if *estimate {
+		if *procs < 1 {
+			fmt.Fprintf(os.Stderr, "-p must be a positive process count, got %d\n", *procs)
+			os.Exit(2)
+		}
+		runEstimate(*dataset, *scaleDiv, *procs, *seed)
+		fmt.Printf("\ncompleted in %v\n", time.Since(t0).Round(time.Millisecond))
+		return
+	}
 	switch *exp {
 	case "table3":
 		runTable3(*scaleDiv, *seed)
@@ -68,6 +85,15 @@ func datasetsOr(flagVal string, defaults []gen.Preset) []gen.Preset {
 		return defaults
 	}
 	return []gen.Preset{gen.Preset(flagVal)}
+}
+
+func runEstimate(dataset string, scaleDiv, p int, seed int64) {
+	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.RedditSim, gen.AmazonSim, gen.ProteinSim}) {
+		rows := experiments.EstimateTable(ds, scaleDiv, p, seed)
+		experiments.PrintEstimateTable(os.Stdout,
+			fmt.Sprintf("Predicted vs measured communication cost — %s, P=%d", ds, p), rows)
+		fmt.Println()
+	}
 }
 
 func runTable3(scaleDiv int, seed int64) {

@@ -1,0 +1,303 @@
+package sagnn
+
+import (
+	"fmt"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/distmm"
+	"sagnn/internal/gcn"
+	"sagnn/internal/machine"
+	"sagnn/internal/partition"
+)
+
+// Candidate is one (algorithm, replication) configuration priced by the
+// communication-plan cost model: the modeled time and exact predicted
+// per-rank volumes of the distributed SpMMs in one training epoch, computed
+// by walking the compiled plan — no training, no data movement. This is the
+// paper's algorithm-comparison methodology turned into an API: the right
+// algorithm depends on the graph's sparsity structure and the machine's α–β
+// parameters, and both are known at plan-compile time.
+type Candidate struct {
+	Algorithm   Algorithm
+	Replication int
+	// EpochSeconds is the modeled bulk-synchronous time of one epoch's
+	// distributed SpMMs (Σ over phases of the slowest rank). Weight-gradient
+	// reductions and dense GEMMs are identical across candidates at a fixed
+	// layout and are not included.
+	EpochSeconds float64
+	// Breakdown splits EpochSeconds into phases ("bcast", "alltoall",
+	// "allreduce", "local").
+	Breakdown map[string]float64
+	// MaxSentMB / AvgSentMB are the predicted per-rank send volumes of one
+	// epoch, exact to the byte (equal to what comm.Stats would measure).
+	MaxSentMB float64
+	AvgSentMB float64
+	// Selected marks the minimum-modeled-cost trainable candidate.
+	Selected bool
+	// Skipped is non-empty when the candidate cannot run at this process
+	// count (and the cost fields are zero), with the reason.
+	Skipped string
+}
+
+// Report records how a DistGraph was configured: the algorithm and
+// replication factor in effect, the per-candidate cost table behind an
+// AlgorithmAuto decision (a single self-priced row otherwise), and the
+// partition quality when a partitioner ran.
+type Report struct {
+	// Algorithm and Replication are the configuration in effect.
+	Algorithm   Algorithm
+	Replication int
+	// Auto reports whether Distribute selected the algorithm itself.
+	Auto bool
+	// Candidates is the predicted cost table, in deterministic candidate
+	// order; exactly one trainable row is Selected.
+	Candidates []Candidate
+	// PartitionQuality describes the selected layout's partition when a
+	// Partitioner ran, else nil.
+	PartitionQuality *partition.Quality
+}
+
+// String renders the candidate table for logs.
+func (r *Report) String() string {
+	s := fmt.Sprintf("algorithm=%s c=%d auto=%v\n", r.Algorithm, r.Replication, r.Auto)
+	s += fmt.Sprintf("%-24s %2s %12s %10s %10s %s\n", "candidate", "c", "epoch(ms)", "max(MB)", "avg(MB)", "note")
+	for _, c := range r.Candidates {
+		note := c.Skipped
+		if c.Selected {
+			note = "<== selected"
+		}
+		if c.Skipped != "" {
+			s += fmt.Sprintf("%-24s %2d %12s %10s %10s %s\n", c.Algorithm, c.Replication, "-", "-", "-", note)
+			continue
+		}
+		s += fmt.Sprintf("%-24s %2d %12.3f %10.3f %10.3f %s\n",
+			c.Algorithm, c.Replication, c.EpochSeconds*1e3, c.MaxSentMB, c.AvgSentMB, note)
+	}
+	return s
+}
+
+// Report returns a detached copy of the distribution decision record: the
+// candidate cost table (per-candidate under AlgorithmAuto) and the
+// configuration in effect.
+func (g *DistGraph) Report() *Report {
+	r := *g.report
+	r.Candidates = append([]Candidate(nil), g.report.Candidates...)
+	for i, c := range r.Candidates {
+		bd := make(map[string]float64, len(c.Breakdown))
+		for ph, v := range c.Breakdown {
+			bd[ph] = v
+		}
+		r.Candidates[i].Breakdown = bd
+	}
+	return &r
+}
+
+// epochWidths validates cfg and returns the dense operand widths of the
+// distributed SpMMs in one full-batch training epoch of a GCN (or SAGE
+// model) with cfg's shape on ds: L forward multiplies at dims[0..L−1], plus
+// L−1 backward multiplies — at dims[L..2] for the GCN convolution, or at
+// dims[L−1..1] for SAGEConv (the backward multiply runs on the
+// aggregated-path split of G·Wᵀ, which has the layer's input width). The
+// first-layer multiply (feature width) dominates, which is why the paper's
+// volume tables are computed at the feature dimension.
+func epochWidths(ds *Dataset, cfg ModelConfig) ([]int, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return gcn.EpochMultiplyWidths(ds.FeatureDim(), cfg.Hidden, ds.Classes, cfg.Layers, cfg.SAGE), nil
+}
+
+// priceCandidate fills a Candidate from a compiled plan.
+func priceCandidate(alg Algorithm, pl *distmm.Plan, params machine.Params, widths []int) Candidate {
+	cost := pl.EpochCost(params, widths)
+	maxMB, avgMB := distmm.SentSummaryMB(pl.EpochSentBytes(widths))
+	return Candidate{
+		Algorithm:    alg,
+		Replication:  pl.Replication(),
+		EpochSeconds: cost.Total(),
+		Breakdown:    cost.Breakdown(),
+		MaxSentMB:    maxMB,
+		AvgSentMB:    avgMB,
+	}
+}
+
+// preparedFor returns (building and caching as needed) the dataset staged
+// for a k-block distribution.
+func preparedFor(cache map[int]*prepared, ds *Dataset, pt Partitioner, k int) *prepared {
+	if p, ok := cache[k]; ok {
+		return p
+	}
+	p := prepare(ds, pt, k)
+	cache[k] = p
+	return p
+}
+
+// sweepTrainable compiles and prices every trainable (1D/1.5D) candidate
+// on world: the shared candidate sweep behind Distribute(AlgorithmAuto)
+// and Estimate, so the two can never disagree on feasibility or selection.
+// It returns the table, the index of the minimum-modeled-cost row (first
+// candidate wins ties; −1 when none is feasible), and the engine and
+// prepared data per row (nil on skipped rows).
+func sweepTrainable(world *comm.World, ds *Dataset, opts DistOpts, widths []int,
+	preps map[int]*prepared) (cands []Candidate, best int, engines []distmm.Engine, rowPreps []*prepared) {
+	p := world.P
+	best = -1
+	bestCost := 0.0
+	for _, spec := range distmm.EnumerateCandidates(p) {
+		if spec.TwoD {
+			continue
+		}
+		alg := Algorithm(spec.Name)
+		skip := spec.Skip
+		if skip == "" && ds.G.NumVertices() < p/spec.C {
+			skip = fmt.Sprintf("%d vertices cannot fill %d blocks", ds.G.NumVertices(), p/spec.C)
+		}
+		if skip != "" {
+			cands = append(cands, Candidate{Algorithm: alg, Replication: spec.C, Skipped: skip})
+			engines, rowPreps = append(engines, nil), append(rowPreps, nil)
+			continue
+		}
+		prep := preparedFor(preps, ds, opts.Partitioner, p/spec.C)
+		engine := buildEngine(world, alg, spec.C, prep)
+		cand := priceCandidate(alg, engine.Plan(), world.Params, widths)
+		if best < 0 || cand.EpochSeconds < bestCost {
+			best, bestCost = len(cands), cand.EpochSeconds
+		}
+		cands = append(cands, cand)
+		engines, rowPreps = append(engines, engine), append(rowPreps, prep)
+	}
+	if best >= 0 {
+		cands[best].Selected = true
+	}
+	return cands, best, engines, rowPreps
+}
+
+// distributeAuto is Distribute with Algorithm: AlgorithmAuto: one shared
+// candidate sweep on the cluster's world, keeping only the winner's engine
+// and layout.
+func (c *Cluster) distributeAuto(ds *Dataset, opts DistOpts) (*DistGraph, error) {
+	if opts.Replication > 1 {
+		return nil, fmt.Errorf("sagnn: AlgorithmAuto selects the replication factor; leave Replication unset, got %d", opts.Replication)
+	}
+	widths, err := epochWidths(ds, opts.CostModel)
+	if err != nil {
+		return nil, err
+	}
+	cands, best, engines, rowPreps := sweepTrainable(c.world, ds, opts, widths, make(map[int]*prepared))
+	if best < 0 {
+		return nil, fmt.Errorf("sagnn: no feasible algorithm candidate for %d vertices on %d processes", ds.G.NumVertices(), c.p)
+	}
+	return c.newDistGraph(ds, opts, rowPreps[best], engines[best], &Report{
+		Algorithm:        cands[best].Algorithm,
+		Replication:      cands[best].Replication,
+		Auto:             true,
+		Candidates:       cands,
+		PartitionQuality: rowPreps[best].quality,
+	}), nil
+}
+
+// Estimate returns the full predicted cost table for distributing ds over
+// this cluster — every trainable 1D/1.5D candidate plus the 2D kernels
+// when the process count is a perfect square — without moving any data or
+// touching the cluster's live world. The minimum-cost trainable candidate
+// is marked Selected (the one Distribute with AlgorithmAuto would pick);
+// 2D rows are priced for comparison but never selected because they have
+// no trainer wiring. opts.Algorithm is ignored; opts.Partitioner and
+// opts.CostModel shape the estimate exactly as they would shape Distribute.
+func (c *Cluster) Estimate(ds *Dataset, opts DistOpts) ([]Candidate, error) {
+	if err := validateDataset(ds); err != nil {
+		return nil, err
+	}
+	widths, err := epochWidths(ds, opts.CostModel)
+	if err != nil {
+		return nil, err
+	}
+	// Candidate plans compile on a throwaway world with the same size and
+	// machine parameters: groups and schedules are structural, so costs and
+	// volumes are identical, and the cluster's live world accretes nothing.
+	world := comm.NewWorld(c.p, c.world.Params)
+	preps := make(map[int]*prepared)
+	cands, _, _, _ := sweepTrainable(world, ds, opts, widths, preps)
+	return append(cands, estimate2D(world, ds, opts, widths, preps)...), nil
+}
+
+// widthCount is one distinct epoch width and its multiplicity.
+type widthCount struct{ width, count int }
+
+// distinctWidths collapses an epoch's width sequence to (width, count)
+// pairs in first-appearance order.
+func distinctWidths(widths []int) []widthCount {
+	var out []widthCount
+	seen := make(map[int]int)
+	for _, w := range widths {
+		if i, ok := seen[w]; ok {
+			out[i].count++
+			continue
+		}
+		seen[w] = len(out)
+		out = append(out, widthCount{width: w, count: 1})
+	}
+	return out
+}
+
+// estimate2D prices the two 2D SUMMA kernels. 2D plans pin the dense width
+// at compile time (the width is split across grid columns), so each
+// distinct epoch width compiles its own plan.
+func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, preps map[int]*prepared) []Candidate {
+	out := make([]Candidate, 0, 2)
+	for _, spec := range distmm.EnumerateCandidates(world.P) {
+		if !spec.TwoD {
+			continue
+		}
+		alg := Algorithm(spec.Name)
+		skip := spec.Skip
+		if skip == "" && ds.G.NumVertices() < spec.C {
+			skip = fmt.Sprintf("%d vertices cannot fill %d grid rows", ds.G.NumVertices(), spec.C)
+		}
+		if skip != "" {
+			out = append(out, Candidate{Algorithm: alg, Replication: spec.C, Skipped: skip})
+			continue
+		}
+		prep := preparedFor(preps, ds, opts.Partitioner, spec.C)
+		var cost *distmm.Cost
+		per := make([]int64, world.P)
+		fail := ""
+		// One compile per distinct width (the block/NnzCols structure work
+		// dominates and is width-independent), weighted by multiplicity.
+		for _, f := range distinctWidths(widths) {
+			var e *distmm.SpMM2D
+			var err error
+			if alg == Oblivious2D {
+				e, err = distmm.NewOblivious2D(world, prep.aHat, f.width)
+			} else {
+				e, err = distmm.NewSparsityAware2D(world, prep.aHat, f.width)
+			}
+			if err != nil {
+				fail = err.Error()
+				break
+			}
+			one := e.Plan().Cost(world.Params, f.width)
+			for i := 0; i < f.count; i++ {
+				cost = cost.Add(one)
+			}
+			for i, b := range e.Plan().EpochSentBytes([]int{f.width}) {
+				per[i] += b * int64(f.count)
+			}
+		}
+		if fail != "" {
+			out = append(out, Candidate{Algorithm: alg, Replication: spec.C, Skipped: fail})
+			continue
+		}
+		maxMB, avgMB := distmm.SentSummaryMB(per)
+		out = append(out, Candidate{
+			Algorithm:    alg,
+			Replication:  spec.C,
+			EpochSeconds: cost.Total(),
+			Breakdown:    cost.Breakdown(),
+			MaxSentMB:    maxMB,
+			AvgSentMB:    avgMB,
+		})
+	}
+	return out
+}

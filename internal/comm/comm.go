@@ -8,6 +8,19 @@
 // oblivious 1D), all-to-allv (sparsity-aware 1D), point-to-point
 // send/recv (sparsity-aware 1.5D), and all-reduce (1.5D partial-sum
 // reduction and weight-gradient reduction).
+//
+// # Time accounting convention: the sender pays
+//
+// Point-to-point α–β time is charged entirely to the sending rank at send
+// time (Send/SendOwned/SendInts take the phase to charge); the matching
+// Recv/RecvInto/RecvInts only waits and records receive volume, charging
+// nothing. This models the eager, non-blocking Isend the paper's NCCL
+// grouped send/recv uses: injection cost is paid once on the wire, and a
+// receiver that is late to post its receive shows up as idle time, not as
+// double-counted transfer time. Collectives charge every participant their
+// modeled share (each member of a broadcast, all-reduce, or all-to-allv
+// calls with the phase to charge), because all members drive the
+// collective's algorithm.
 package comm
 
 import (
@@ -193,26 +206,27 @@ func (r *Rank) SendInts(dst, tag int, ints []int, phase string) {
 
 // Recv blocks until the next message from src arrives and returns its float
 // payload. The tag must match the head message — the protocols in this
-// repository are deterministic, so a mismatch is a bug, not a race.
+// repository are deterministic, so a mismatch is a bug, not a race. No time
+// is charged: the sender already paid the message's full α–β cost (see the
+// package comment).
 //
 // The returned buffer is owned by the caller: keep it indefinitely, or hand
 // it back with PutFloats once done. For a zero-allocation steady state use
 // RecvInto with a persistent workspace instead.
-func (r *Rank) Recv(src, tag int, phase string) []float64 {
+func (r *Rank) Recv(src, tag int) []float64 {
 	m := <-r.w.mail[r.ID][src]
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
 	}
 	n := int64(len(m.floats)) * machine.BytesPerElem
 	r.w.stats.addRecv(r.ID, n)
-	_ = phase // receive time is charged on the sender's P2PTime; the barrier-free recv just waits
 	return m.floats
 }
 
 // RecvInto blocks for the next message from src, copies its payload into
 // dst (whose length must equal the payload length), and recycles the
 // transport buffer. Volume accounting matches Recv exactly.
-func (r *Rank) RecvInto(src, tag int, dst []float64, phase string) {
+func (r *Rank) RecvInto(src, tag int, dst []float64) {
 	m := <-r.w.mail[r.ID][src]
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
@@ -223,12 +237,11 @@ func (r *Rank) RecvInto(src, tag int, dst []float64, phase string) {
 	copy(dst, m.floats)
 	n := int64(len(m.floats)) * machine.BytesPerElem
 	r.w.stats.addRecv(r.ID, n)
-	_ = phase
 	r.w.pool.put(m.floats)
 }
 
 // RecvInts is Recv for int payloads.
-func (r *Rank) RecvInts(src, tag int, phase string) []int {
+func (r *Rank) RecvInts(src, tag int) []int {
 	m := <-r.w.mail[r.ID][src]
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))

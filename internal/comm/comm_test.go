@@ -44,7 +44,7 @@ func TestSendRecv(t *testing.T) {
 		if r.ID == 0 {
 			r.Send(1, 7, []float64{1, 2, 3}, "p2p")
 		} else {
-			got := r.Recv(0, 7, "p2p")
+			got := r.Recv(0, 7)
 			if len(got) != 3 || got[2] != 3 {
 				panic("bad payload")
 			}
@@ -69,7 +69,7 @@ func TestSendCopiesPayload(t *testing.T) {
 			r.Send(1, 0, buf, "p2p")
 			buf[0] = -1 // mutate after send; receiver must still see 42
 		} else {
-			got := r.Recv(0, 0, "p2p")
+			got := r.Recv(0, 0)
 			if got[0] != 42 {
 				panic("send did not copy payload")
 			}
@@ -83,7 +83,7 @@ func TestSendIntsRecvInts(t *testing.T) {
 		if r.ID == 0 {
 			r.SendInts(1, 3, []int{9, 8}, "setup")
 		} else {
-			got := r.RecvInts(0, 3, "setup")
+			got := r.RecvInts(0, 3)
 			if len(got) != 2 || got[0] != 9 {
 				panic("bad int payload")
 			}
@@ -102,7 +102,7 @@ func TestRecvTagMismatchPanics(t *testing.T) {
 		if r.ID == 0 {
 			r.Send(1, 1, []float64{1}, "p2p")
 		} else {
-			r.Recv(0, 2, "p2p")
+			r.Recv(0, 2)
 		}
 	})
 }

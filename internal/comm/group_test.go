@@ -62,7 +62,7 @@ func TestInterleavedP2PAndCollectives(t *testing.T) {
 			next := (r.ID + 1) % p
 			prev := (r.ID + p - 1) % p
 			r.Send(next, stage, []float64{float64(r.ID)}, "alltoall")
-			got := r.Recv(prev, stage, "alltoall")
+			got := r.Recv(prev, stage)
 			if got[0] != float64(prev) {
 				panic("ring payload wrong")
 			}

@@ -18,7 +18,7 @@ func TestSendOwnedRecvIntoRoundtrip(t *testing.T) {
 			r.SendOwned(1, 9, buf, "p2p")
 		} else {
 			dst := []float64{-1, -1, -1}
-			r.RecvInto(0, 9, dst, "p2p")
+			r.RecvInto(0, 9, dst)
 			if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
 				panic("payload corrupted")
 			}
@@ -40,7 +40,7 @@ func TestSendOwnedNilPayload(t *testing.T) {
 		if r.ID == 0 {
 			r.SendOwned(1, 0, nil, "p2p")
 		} else {
-			r.RecvInto(0, 0, nil, "p2p")
+			r.RecvInto(0, 0, nil)
 		}
 	})
 	if w.Stats().MsgsSent(0) != 1 {
@@ -74,7 +74,7 @@ func TestPoolRecyclesBuffers(t *testing.T) {
 		if r.ID == 0 {
 			r.Send(1, 0, []float64{4, 5, 6, 7}, "p2p")
 		} else {
-			r.RecvInto(0, 0, dst, "p2p")
+			r.RecvInto(0, 0, dst)
 		}
 	})
 	select {

@@ -96,6 +96,10 @@ func TestEnginesMatchSerialAndGoldenVolumes(t *testing.T) {
 			t.Errorf("%s: output checksum bits %d, golden %d — engine output changed",
 				mk.name, bits, golden.checksum)
 		}
+		// The plan-predicted volumes must hit the same golden record the
+		// measured execution does — prediction and measurement are two
+		// views of one schedule.
+		pred := e.Plan().Volumes(f)
 		for rank := 0; rank < p; rank++ {
 			g := golden.ranks[rank]
 			if got := w.Stats().BytesSent(rank); got != g.sent {
@@ -106,6 +110,11 @@ func TestEnginesMatchSerialAndGoldenVolumes(t *testing.T) {
 			}
 			if got := w.Stats().MsgsSent(rank); got != g.msgs {
 				t.Errorf("%s rank %d: %d msgs, golden %d", mk.name, rank, got, g.msgs)
+			}
+			if pred[rank].SentBytes != g.sent || pred[rank].RecvBytes != g.recv || pred[rank].MsgsSent != g.msgs {
+				t.Errorf("%s rank %d: plan predicts (%d,%d,%d), golden (%d,%d,%d)",
+					mk.name, rank, pred[rank].SentBytes, pred[rank].RecvBytes, pred[rank].MsgsSent,
+					g.sent, g.recv, g.msgs)
 			}
 		}
 	}

@@ -12,9 +12,17 @@
 //   - SparsityAware15D — Algorithm 2: 1.5D staging with point-to-point
 //     sends of only the needed H rows, plus the all-reduce.
 //
-// All four perform real data movement through a comm.World, so their
-// results are bit-identical to a serial SpMM (tested), while exact volumes
-// and modeled α–β times are recorded for the experiment harness.
+// Plus the 2D SUMMA kernels the paper's conclusion points at, as standalone
+// SpMM engines.
+//
+// Every algorithm compiles its choreography into an immutable communication
+// Plan at construction (see plan.go) — per-rank instruction streams over
+// broadcast/all-to-allv/p2p/all-reduce ops — and Multiply/MultiplyInto run
+// one shared executor over that plan. All engines therefore perform real
+// data movement through a comm.World, so their results are bit-identical to
+// a serial SpMM (tested), while exact volumes and modeled α–β times are
+// recorded for the experiment harness — and the same schedule predicts both
+// (Plan.Volumes, Plan.Cost) without moving data.
 package distmm
 
 import (

@@ -5,7 +5,6 @@ import (
 
 	"sagnn/internal/comm"
 	"sagnn/internal/dense"
-	"sagnn/internal/machine"
 	"sagnn/internal/sparse"
 )
 
@@ -14,12 +13,18 @@ import (
 // passes its own H block and receives its own Z block. Engines are safe for
 // concurrent use by their world's ranks; each rank owns a private reusable
 // workspace, so steady-state MultiplyInto calls do not allocate.
+//
+// Every engine is a compiled communication Plan plus the shared plan
+// executor (see plan.go); Plan exposes the schedule for volume and cost
+// prediction without data movement.
 type Engine interface {
 	Name() string
 	// Layout returns the block-row distribution of the dense matrices.
 	Layout() Layout
 	// BlockOf returns the block-row index owned by a world rank.
 	BlockOf(rank int) int
+	// Plan returns the engine's compiled communication schedule.
+	Plan() *Plan
 	// Multiply computes this rank's block of Aᵀ·H into a new matrix. hLocal
 	// must have Layout().Count(BlockOf(rank)) rows.
 	Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix
@@ -49,270 +54,152 @@ func checkMultiplyShapes(rank, ownRows int, hLocal, out *dense.Matrix) {
 	}
 }
 
-// Oblivious1D is CAGNET's sparsity-oblivious algorithm: in every Multiply,
-// each process broadcasts its full H block to all others regardless of the
-// sparsity structure.
-type Oblivious1D struct {
-	layout Layout
-	blocks [][]*sparse.CSR // [rank][j] = A^T_{rank,j}
-	world  *comm.World
-	ws     []*obl1dWS
-}
-
-// obl1dWS is one rank's reusable broadcast-staging workspace.
-type obl1dWS struct {
-	recv []float64
-	hj   dense.Matrix
-}
-
-// NewOblivious1D partitions aT (the global n×n sparse matrix, already
-// permuted if a partitioner was used) into P×P blocks for the given layout.
-// The per-block-row extraction runs in parallel across GOMAXPROCS workers.
-func NewOblivious1D(w *comm.World, aT *sparse.CSR, layout Layout) *Oblivious1D {
+// check1DInputs validates the shared 1D constructor contract.
+func check1DInputs(w *comm.World, aT *sparse.CSR, layout Layout) {
 	if layout.Blocks() != w.P {
 		panic(fmt.Sprintf("distmm: layout has %d blocks for %d ranks", layout.Blocks(), w.P))
 	}
 	if layout.N() != aT.NumRows || aT.NumRows != aT.NumCols {
 		panic(fmt.Sprintf("distmm: matrix %dx%d does not match layout n=%d", aT.NumRows, aT.NumCols, layout.N()))
 	}
-	engineBuilds.Add(1)
-	e := &Oblivious1D{layout: layout, world: w, blocks: make([][]*sparse.CSR, w.P), ws: newObl1dWS(w.P)}
+}
+
+// new1DPlan allocates the per-rank metadata every 1D plan shares: rank i
+// owns block row i and reduces gradients over the whole world.
+func new1DPlan(name string, w *comm.World, layout Layout) *Plan {
+	p := w.P
+	plan := &Plan{
+		name:        name,
+		world:       w,
+		layout:      layout,
+		replication: 1,
+		blockOf:     make([]int, p),
+		outRows:     make([]int, p),
+		gradGroups:  make([]*comm.Group, p),
+		progs:       make([][]instr, p),
+	}
+	for i := 0; i < p; i++ {
+		plan.blockOf[i] = i
+		plan.outRows[i] = layout.Count(i)
+		plan.gradGroups[i] = w.WorldGroup()
+	}
+	return plan
+}
+
+// NewOblivious1D compiles CAGNET's sparsity-oblivious 1D algorithm: in every
+// Multiply, each process broadcasts its full H block to all others
+// regardless of the sparsity structure. aT (the global n×n sparse matrix,
+// already permuted if a partitioner was used) is partitioned into P×P blocks
+// for the given layout; the per-block-row extraction runs in parallel across
+// GOMAXPROCS workers.
+func NewOblivious1D(w *comm.World, aT *sparse.CSR, layout Layout) Engine {
+	check1DInputs(w, aT, layout)
+	blocks := make([][]*sparse.CSR, w.P) // [rank][j] = A^T_{rank,j}
 	parallelBlocks(w.P, func(i int) {
 		rlo, rhi := layout.Range(i)
-		e.blocks[i] = make([]*sparse.CSR, w.P)
+		blocks[i] = make([]*sparse.CSR, w.P)
 		rowBlock := aT.RowBlock(rlo, rhi)
 		for j := 0; j < w.P; j++ {
 			clo, chi := layout.Range(j)
-			e.blocks[i][j] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+			blocks[i][j] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
 		}
 	})
-	return e
-}
-
-func newObl1dWS(p int) []*obl1dWS {
-	ws := make([]*obl1dWS, p)
-	for i := range ws {
-		ws[i] = &obl1dWS{}
-	}
-	return ws
-}
-
-// Name implements Engine.
-func (e *Oblivious1D) Name() string { return "oblivious-1d" }
-
-// Layout implements Engine.
-func (e *Oblivious1D) Layout() Layout { return e.layout }
-
-// BlockOf implements Engine.
-func (e *Oblivious1D) BlockOf(rank int) int { return rank }
-
-// GradGroup implements Engine.
-func (e *Oblivious1D) GradGroup(rank int) *comm.Group { return e.world.WorldGroup() }
-
-// Multiply implements Engine.
-func (e *Oblivious1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
-	out := dense.New(e.layout.Count(r.ID), hLocal.Cols)
-	e.MultiplyInto(r, hLocal, out)
-	return out
-}
-
-// MultiplyInto implements Engine: P broadcasts, one per block row of H, each
-// followed by a local SpMM with the matching column block. The broadcast
-// payload lands in a per-rank reusable staging buffer.
-func (e *Oblivious1D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
-	me := r.ID
-	f := hLocal.Cols
-	checkMultiplyShapes(me, e.layout.Count(me), hLocal, out)
-	ws := e.ws[me]
-	g := e.world.WorldGroup()
-	out.Zero()
-	for j := 0; j < e.world.P; j++ {
-		var payload []float64
-		if j == me {
-			payload = hLocal.Data
+	plan := new1DPlan("oblivious-1d", w, layout)
+	g := w.WorldGroup()
+	for me := 0; me < w.P; me++ {
+		prog := make([]instr, 0, w.P)
+		// P broadcasts, one per block row of H, each followed by a local
+		// SpMM with the matching column block.
+		for j := 0; j < w.P; j++ {
+			prog = append(prog, instr{op: opBcastMul, group: g, root: j, own: j == me, rows: layout.Count(j), blk: blocks[me][j]})
 		}
-		rows := e.layout.Count(j)
-		data := g.BcastFloatsInto(r, j, payload, growFloats(&ws.recv, rows*f), "bcast")
-		hj := asMatrix(&ws.hj, rows, f, data)
-		blk := e.blocks[me][j]
-		blk.SpMMAddInto(out, hj)
-		r.ChargeCompute("local", e.world.Params.SpMMTime(blk.Flops(f)))
+		plan.progs[me] = prog
 	}
+	return newPlanEngine(plan)
 }
 
-// SparsityAware1D is the paper's Algorithm 1. During setup each block
-// computes NnzCols(i, j) — the rows of H_j its off-diagonal block A^T_{ij}
-// actually touches — and Multiply exchanges exactly those rows with a
-// single all-to-allv.
-type SparsityAware1D struct {
-	layout Layout
-	world  *comm.World
-	// recvIdx[i][j] lists (j-local) row indices of H_j that block i needs.
+// nnzSchedule is the sparsity-aware NnzCols structure for one block
+// partition: recvIdx[i][j] lists the (j-local) rows of H_j block row i
+// needs, and compact[i][j] is A^T_{ij} with columns relabeled to positions
+// in recvIdx[i][j] so received rows multiply without scattering; diag[i] is
+// the full-width diagonal block.
+type nnzSchedule struct {
 	recvIdx [][][]int
-	// sendIdx[i][j] lists (i-local) rows of H_i that block j needs; equal to
-	// recvIdx[j][i], precomputed for the pack step.
-	sendIdx [][][]int
-	// compact[i][j] is A^T_{ij} with columns relabeled to positions in
-	// recvIdx[i][j], so received rows can be multiplied without scattering.
 	compact [][]*sparse.CSR
-	// diag[i] is the diagonal block A^T_{ii}, multiplied against the local
-	// H block directly.
-	diag []*sparse.CSR
-	ws   []*sa1dWS
+	diag    []*sparse.CSR
 }
 
-// sa1dWS is one rank's reusable all-to-allv workspace: pack buffers for the
-// rows each peer requested and landing buffers for the rows received.
-type sa1dWS struct {
-	send     [][]float64 // send[j] points into sendBufs[j] (or nil)
-	sendBufs [][]float64
-	recv     [][]float64 // recv[j] points into recvBufs[j]
-	recvBufs [][]float64
-	hj       dense.Matrix
-}
-
-// NewSparsityAware1D computes the NnzCols structure for every block pair,
-// parallelized across block rows. The paper performs this as a cheap
-// preprocessing step excluded from training time; here it is computed
-// directly from the global matrix.
-func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) *SparsityAware1D {
-	if layout.Blocks() != w.P {
-		panic(fmt.Sprintf("distmm: layout has %d blocks for %d ranks", layout.Blocks(), w.P))
+// buildNnzSchedule computes the NnzCols structure for every block pair of a
+// k-block layout, parallelized across block rows. The paper performs this as
+// a cheap preprocessing step excluded from training time; here it is
+// computed directly from the global matrix.
+func buildNnzSchedule(aT *sparse.CSR, layout Layout) *nnzSchedule {
+	k := layout.Blocks()
+	s := &nnzSchedule{
+		recvIdx: make([][][]int, k),
+		compact: make([][]*sparse.CSR, k),
+		diag:    make([]*sparse.CSR, k),
 	}
-	if layout.N() != aT.NumRows || aT.NumRows != aT.NumCols {
-		panic(fmt.Sprintf("distmm: matrix %dx%d does not match layout n=%d", aT.NumRows, aT.NumCols, layout.N()))
-	}
-	engineBuilds.Add(1)
-	p := w.P
-	e := &SparsityAware1D{
-		layout:  layout,
-		world:   w,
-		recvIdx: make([][][]int, p),
-		sendIdx: make([][][]int, p),
-		compact: make([][]*sparse.CSR, p),
-		diag:    make([]*sparse.CSR, p),
-		ws:      newSA1DWS(p),
-	}
-	parallelBlocks(p, func(i int) {
+	parallelBlocks(k, func(i int) {
 		rlo, rhi := layout.Range(i)
 		rowBlock := aT.RowBlock(rlo, rhi)
-		e.recvIdx[i] = make([][]int, p)
-		e.compact[i] = make([]*sparse.CSR, p)
-		for j := 0; j < p; j++ {
+		s.recvIdx[i] = make([][]int, k)
+		s.compact[i] = make([]*sparse.CSR, k)
+		for j := 0; j < k; j++ {
 			clo, chi := layout.Range(j)
 			blk := rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
 			if j == i {
-				e.diag[i] = blk
+				s.diag[i] = blk
 				continue
 			}
 			nnzCols := blk.NnzColsInRange(sparse.ColRange{Lo: 0, Hi: chi - clo})
-			e.recvIdx[i][j] = nnzCols
+			s.recvIdx[i][j] = nnzCols
 			remap := make([]int, chi-clo)
-			for k := range remap {
-				remap[k] = -1
+			for x := range remap {
+				remap[x] = -1
 			}
 			for pos, c := range nnzCols {
 				remap[c] = pos
 			}
-			e.compact[i][j] = blk.RelabelCols(remap, len(nnzCols))
+			s.compact[i][j] = blk.RelabelCols(remap, len(nnzCols))
 		}
 	})
-	for i := 0; i < p; i++ {
-		e.sendIdx[i] = make([][]int, p)
+	return s
+}
+
+// NewSparsityAware1D compiles the paper's Algorithm 1. Setup computes
+// NnzCols(i, j) — the rows of H_j the off-diagonal block A^T_{ij} actually
+// touches — and the compiled plan exchanges exactly those rows with a single
+// all-to-allv per Multiply.
+func NewSparsityAware1D(w *comm.World, aT *sparse.CSR, layout Layout) Engine {
+	check1DInputs(w, aT, layout)
+	p := w.P
+	sched := buildNnzSchedule(aT, layout)
+	plan := new1DPlan("sparsity-aware-1d", w, layout)
+	g := w.WorldGroup()
+	for me := 0; me < p; me++ {
+		// sendIdx[j] lists the (me-local) rows of H_me that peer j needs —
+		// recvIdx[j][me], read off the schedule for the pack step.
+		sendIdx := make([][]int, p)
+		recvRows := make([]int, p)
 		for j := 0; j < p; j++ {
-			if j != i {
-				e.sendIdx[i][j] = e.recvIdx[j][i]
+			if j == me {
+				continue
 			}
+			sendIdx[j] = sched.recvIdx[j][me]
+			recvRows[j] = len(sched.recvIdx[me][j])
 		}
+		prog := make([]instr, 0, p+3)
+		prog = append(prog, instr{op: opAllToAllv, group: g, slot: me, sendIdx: sendIdx, recvRows: recvRows})
+		prog = append(prog, instr{op: opMulOwn, blk: sched.diag[me]})
+		for j := 0; j < p; j++ {
+			if j == me || len(sched.recvIdx[me][j]) == 0 {
+				continue
+			}
+			prog = append(prog, instr{op: opMulRecvSlot, slot: j, rows: len(sched.recvIdx[me][j]), blk: sched.compact[me][j]})
+		}
+		prog = append(prog, instr{op: opChargeUnpack})
+		plan.progs[me] = prog
 	}
-	return e
-}
-
-func newSA1DWS(p int) []*sa1dWS {
-	ws := make([]*sa1dWS, p)
-	for i := range ws {
-		ws[i] = &sa1dWS{
-			send:     make([][]float64, p),
-			sendBufs: make([][]float64, p),
-			recv:     make([][]float64, p),
-			recvBufs: make([][]float64, p),
-		}
-	}
-	return ws
-}
-
-// Name implements Engine.
-func (e *SparsityAware1D) Name() string { return "sparsity-aware-1d" }
-
-// Layout implements Engine.
-func (e *SparsityAware1D) Layout() Layout { return e.layout }
-
-// BlockOf implements Engine.
-func (e *SparsityAware1D) BlockOf(rank int) int { return rank }
-
-// GradGroup implements Engine.
-func (e *SparsityAware1D) GradGroup(rank int) *comm.Group { return e.world.WorldGroup() }
-
-// Multiply implements Engine.
-func (e *SparsityAware1D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
-	out := dense.New(e.layout.Count(r.ID), hLocal.Cols)
-	e.MultiplyInto(r, hLocal, out)
-	return out
-}
-
-// MultiplyInto implements Engine: pack requested rows into per-peer reusable
-// buffers, one all-to-allv into reusable landing buffers, then a compact
-// SpMM per source block plus the diagonal block.
-func (e *SparsityAware1D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
-	me := r.ID
-	f := hLocal.Cols
-	checkMultiplyShapes(me, e.layout.Count(me), hLocal, out)
-	p := e.world.P
-	g := e.world.WorldGroup()
-	ws := e.ws[me]
-	var packedElems int64
-	for j := 0; j < p; j++ {
-		ws.send[j] = nil
-		if j == me {
-			continue
-		}
-		idx := e.sendIdx[me][j]
-		if len(idx) == 0 {
-			continue
-		}
-		buf := growFloats(&ws.sendBufs[j], len(idx)*f)
-		hLocal.GatherRowsInto(buf, idx)
-		ws.send[j] = buf
-		packedElems += int64(len(buf))
-	}
-	// Packing the requested rows into send buffers is the extra local work
-	// sparsity-aware communication introduces (visible as the larger
-	// "local" bars in the paper's Figure 4 breakdown).
-	r.ChargeCompute("local", e.world.Params.CopyTime(packedElems*machine.BytesPerElem))
-
-	for j := 0; j < p; j++ {
-		rows := 0
-		if j != me {
-			rows = len(e.recvIdx[me][j])
-		}
-		ws.recv[j] = growFloats(&ws.recvBufs[j], rows*f)
-	}
-	recv := g.AllToAllvInto(r, ws.send, ws.recv, "alltoall")
-
-	out.Zero()
-	e.diag[me].SpMMAddInto(out, hLocal)
-	r.ChargeCompute("local", e.world.Params.SpMMTime(e.diag[me].Flops(f)))
-	var unpackedElems int64
-	for j := 0; j < p; j++ {
-		if j == me || len(e.recvIdx[me][j]) == 0 {
-			continue
-		}
-		rows := len(e.recvIdx[me][j])
-		hj := asMatrix(&ws.hj, rows, f, recv[j])
-		blk := e.compact[me][j]
-		blk.SpMMAddInto(out, hj)
-		unpackedElems += int64(rows * f)
-		r.ChargeCompute("local", e.world.Params.SpMMTime(blk.Flops(f)))
-	}
-	r.ChargeCompute("local", e.world.Params.CopyTime(unpackedElems*machine.BytesPerElem))
+	return newPlanEngine(plan)
 }

@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"sagnn/internal/comm"
-	"sagnn/internal/dense"
-	"sagnn/internal/machine"
 	"sagnn/internal/sparse"
 )
 
@@ -59,255 +57,111 @@ func (g *Grid) ColOf(rank int) int { return rank % g.C }
 // Stages returns s = P/c², the number of SpMM stages per process.
 func (g *Grid) Stages() int { return g.Rows / g.C }
 
-// grid15dWS is one rank's reusable 1.5D workspace: the partial-sum block,
-// the staging buffer for incoming H rows, and a reusable matrix header.
-type grid15dWS struct {
-	zhat []float64
-	recv []float64
-	zh   dense.Matrix
-	hq   dense.Matrix
-}
-
-func newGrid15dWS(p int) []*grid15dWS {
-	ws := make([]*grid15dWS, p)
-	for i := range ws {
-		ws[i] = &grid15dWS{}
-	}
-	return ws
-}
-
-// Oblivious15D is the sparsity-oblivious 1.5D algorithm: at each stage the
-// owner broadcasts an entire H block down its process column; partial sums
-// are combined with an all-reduce across each process row.
-type Oblivious15D struct {
-	grid   *Grid
-	layout Layout // Rows blocks
-	// blocks[i][q] = A^T_{iq} for block row i (replicated per column, the
-	// engine indexes by block row).
-	blocks [][]*sparse.CSR
-	ws     []*grid15dWS
-}
-
-// NewOblivious15D splits aT into (P/c)² blocks, parallelized across block
-// rows.
-func NewOblivious15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *Oblivious15D {
-	grid := NewGrid(w, c)
+// check15DInputs validates the shared 1.5D constructor contract.
+func check15DInputs(grid *Grid, aT *sparse.CSR, layout Layout) {
 	if layout.Blocks() != grid.Rows {
 		panic(fmt.Sprintf("distmm: layout has %d blocks, grid has %d rows", layout.Blocks(), grid.Rows))
 	}
 	if layout.N() != aT.NumRows {
 		panic("distmm: layout does not match matrix")
 	}
-	engineBuilds.Add(1)
-	e := &Oblivious15D{grid: grid, layout: layout, blocks: make([][]*sparse.CSR, grid.Rows), ws: newGrid15dWS(w.P)}
+}
+
+// new15DPlan allocates the per-rank metadata every 1.5D plan shares: world
+// rank i*c+j owns block row i, accumulates into a partial-sum buffer folded
+// by a process-row all-reduce, and reduces gradients over its process
+// column (each column holds every block row exactly once).
+func new15DPlan(name string, grid *Grid, layout Layout) *Plan {
+	p := grid.P
+	plan := &Plan{
+		name:        name,
+		world:       grid.world,
+		layout:      layout,
+		replication: grid.C,
+		partial:     true,
+		blockOf:     make([]int, p),
+		outRows:     make([]int, p),
+		gradGroups:  make([]*comm.Group, p),
+		progs:       make([][]instr, p),
+	}
+	for rank := 0; rank < p; rank++ {
+		i, j := grid.RowOf(rank), grid.ColOf(rank)
+		plan.blockOf[rank] = i
+		plan.outRows[rank] = layout.Count(i)
+		plan.gradGroups[rank] = grid.colGroups[j]
+	}
+	return plan
+}
+
+// NewOblivious15D compiles the sparsity-oblivious 1.5D algorithm: at each
+// stage the owner broadcasts an entire H block down its process column;
+// partial sums are combined with an all-reduce across each process row.
+// aT is split into (P/c)² blocks, parallelized across block rows.
+func NewOblivious15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) Engine {
+	grid := NewGrid(w, c)
+	check15DInputs(grid, aT, layout)
+	blocks := make([][]*sparse.CSR, grid.Rows) // [i][q] = A^T_{iq}
 	parallelBlocks(grid.Rows, func(i int) {
 		rlo, rhi := layout.Range(i)
 		rowBlock := aT.RowBlock(rlo, rhi)
-		e.blocks[i] = make([]*sparse.CSR, grid.Rows)
+		blocks[i] = make([]*sparse.CSR, grid.Rows)
 		for q := 0; q < grid.Rows; q++ {
 			clo, chi := layout.Range(q)
-			e.blocks[i][q] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+			blocks[i][q] = rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
 		}
 	})
-	return e
-}
-
-// Name implements Engine.
-func (e *Oblivious15D) Name() string { return fmt.Sprintf("oblivious-1.5d(c=%d)", e.grid.C) }
-
-// Layout implements Engine.
-func (e *Oblivious15D) Layout() Layout { return e.layout }
-
-// BlockOf implements Engine: world rank i*c+j owns block row i.
-func (e *Oblivious15D) BlockOf(rank int) int { return e.grid.RowOf(rank) }
-
-// Grid exposes the process grid (for trainers that need row groups).
-func (e *Oblivious15D) Grid() *Grid { return e.grid }
-
-// GradGroup implements Engine: a process column sees every block row once.
-func (e *Oblivious15D) GradGroup(rank int) *comm.Group {
-	return e.grid.colGroups[e.grid.ColOf(rank)]
-}
-
-// Multiply implements Engine.
-func (e *Oblivious15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
-	out := dense.New(e.layout.Count(e.BlockOf(r.ID)), hLocal.Cols)
-	e.MultiplyInto(r, hLocal, out)
-	return out
-}
-
-// MultiplyInto implements Engine. Every rank in a process row returns the
-// same replicated Z block; partial sums accumulate in a reusable workspace
-// and the all-reduce lands directly in out.
-func (e *Oblivious15D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
-	grid := e.grid
-	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
-	f := hLocal.Cols
-	checkMultiplyShapes(r.ID, e.layout.Count(i), hLocal, out)
-	ws := e.ws[r.ID]
+	plan := new15DPlan(fmt.Sprintf("oblivious-1.5d(c=%d)", c), grid, layout)
 	s := grid.Stages()
-	col := grid.colGroups[j]
-	zHat := asMatrix(&ws.zh, e.layout.Count(i), f, growFloats(&ws.zhat, e.layout.Count(i)*f))
-	zHat.Zero()
-	for k := 0; k < s; k++ {
-		q := j*s + k
-		var payload []float64
-		if q == i {
-			payload = hLocal.Data
+	for rank := 0; rank < w.P; rank++ {
+		i, j := grid.RowOf(rank), grid.ColOf(rank)
+		col := grid.colGroups[j]
+		prog := make([]instr, 0, s+1)
+		for k := 0; k < s; k++ {
+			// Stage k of column j moves block row q = j·s+k; the column
+			// group is ordered by row, so q is also the root's group index.
+			q := j*s + k
+			prog = append(prog, instr{op: opBcastMul, group: col, root: q, own: q == i, rows: layout.Count(q), blk: blocks[i][q]})
 		}
-		rows := e.layout.Count(q)
-		data := col.BcastFloatsInto(r, q, payload, growFloats(&ws.recv, rows*f), "bcast")
-		hq := asMatrix(&ws.hq, rows, f, data)
-		blk := e.blocks[i][q]
-		blk.SpMMAddInto(zHat, hq)
-		r.ChargeCompute("local", e.grid.world.Params.SpMMTime(blk.Flops(f)))
+		prog = append(prog, instr{op: opAllReduce, group: grid.rowGroups[i]})
+		plan.progs[rank] = prog
 	}
-	row := grid.rowGroups[i]
-	row.AllReduceSumInto(r, zHat.Data, out.Data, "allreduce")
+	return newPlanEngine(plan)
 }
 
-// SparsityAware15D is the paper's Algorithm 2: the same staged 1.5D
-// schedule, but at each stage the owner point-to-point sends each consumer
-// only the H rows its block's nonzero columns require.
-type SparsityAware15D struct {
-	grid   *Grid
-	layout Layout
-	// recvIdx[i][q] = NnzCols(i, q): q-local H rows block row i needs.
-	recvIdx [][][]int
-	// compact[i][q] = A^T_{iq} relabeled to recvIdx positions.
-	compact [][]*sparse.CSR
-	// diag[i] = A^T_{ii} kept at full block width for the local stage.
-	diag []*sparse.CSR
-	ws   []*grid15dWS
-}
-
-// NewSparsityAware15D computes the NnzCols structure for the 1.5D layout,
-// parallelized across block rows.
-func NewSparsityAware15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) *SparsityAware15D {
+// NewSparsityAware15D compiles the paper's Algorithm 2: the same staged
+// 1.5D schedule, but at each stage the owner point-to-point sends each
+// consumer only the H rows its block's nonzero columns require. The stage
+// schedule is a perfect matching — every owner serves exactly its column's
+// members — so no drain messages are needed.
+func NewSparsityAware15D(w *comm.World, aT *sparse.CSR, c int, layout Layout) Engine {
 	grid := NewGrid(w, c)
-	if layout.Blocks() != grid.Rows {
-		panic(fmt.Sprintf("distmm: layout has %d blocks, grid has %d rows", layout.Blocks(), grid.Rows))
-	}
-	if layout.N() != aT.NumRows {
-		panic("distmm: layout does not match matrix")
-	}
-	engineBuilds.Add(1)
-	e := &SparsityAware15D{
-		grid:    grid,
-		layout:  layout,
-		recvIdx: make([][][]int, grid.Rows),
-		compact: make([][]*sparse.CSR, grid.Rows),
-		diag:    make([]*sparse.CSR, grid.Rows),
-		ws:      newGrid15dWS(w.P),
-	}
-	parallelBlocks(grid.Rows, func(i int) {
-		rlo, rhi := layout.Range(i)
-		rowBlock := aT.RowBlock(rlo, rhi)
-		e.recvIdx[i] = make([][]int, grid.Rows)
-		e.compact[i] = make([]*sparse.CSR, grid.Rows)
-		for q := 0; q < grid.Rows; q++ {
-			clo, chi := layout.Range(q)
-			blk := rowBlock.ExtractBlock(sparse.ColRange{Lo: 0, Hi: rhi - rlo}, sparse.ColRange{Lo: clo, Hi: chi})
+	check15DInputs(grid, aT, layout)
+	sched := buildNnzSchedule(aT, layout)
+	plan := new15DPlan(fmt.Sprintf("sparsity-aware-1.5d(c=%d)", c), grid, layout)
+	s := grid.Stages()
+	for rank := 0; rank < w.P; rank++ {
+		i, j := grid.RowOf(rank), grid.ColOf(rank)
+		prog := make([]instr, 0, s+grid.Rows)
+		for k := 0; k < s; k++ {
+			q := j*s + k
 			if q == i {
-				e.diag[i] = blk
+				// Stage owner: serve every other member of my column the
+				// rows its blocks need, then multiply my own (full-width)
+				// diagonal-stage block locally.
+				for l := 0; l < grid.Rows; l++ {
+					if l == i {
+						continue
+					}
+					prog = append(prog, instr{op: opSendRows, peer: l*grid.C + j, tag: k, idx: sched.recvIdx[l][q]})
+				}
+				prog = append(prog, instr{op: opChargePack})
+				prog = append(prog, instr{op: opMulOwn, blk: sched.diag[i]})
 				continue
 			}
-			nnzCols := blk.NnzColsInRange(sparse.ColRange{Lo: 0, Hi: chi - clo})
-			e.recvIdx[i][q] = nnzCols
-			remap := make([]int, chi-clo)
-			for k := range remap {
-				remap[k] = -1
-			}
-			for pos, cix := range nnzCols {
-				remap[cix] = pos
-			}
-			e.compact[i][q] = blk.RelabelCols(remap, len(nnzCols))
+			prog = append(prog, instr{op: opRecvMul, peer: q*grid.C + j, tag: k, rows: len(sched.recvIdx[i][q]), blk: sched.compact[i][q]})
 		}
-	})
-	return e
-}
-
-// Name implements Engine.
-func (e *SparsityAware15D) Name() string { return fmt.Sprintf("sparsity-aware-1.5d(c=%d)", e.grid.C) }
-
-// Layout implements Engine.
-func (e *SparsityAware15D) Layout() Layout { return e.layout }
-
-// BlockOf implements Engine.
-func (e *SparsityAware15D) BlockOf(rank int) int { return e.grid.RowOf(rank) }
-
-// Grid exposes the process grid.
-func (e *SparsityAware15D) Grid() *Grid { return e.grid }
-
-// GradGroup implements Engine: a process column sees every block row once.
-func (e *SparsityAware15D) GradGroup(rank int) *comm.Group {
-	return e.grid.colGroups[e.grid.ColOf(rank)]
-}
-
-// Multiply implements Engine.
-func (e *SparsityAware15D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
-	out := dense.New(e.layout.Count(e.BlockOf(r.ID)), hLocal.Cols)
-	e.MultiplyInto(r, hLocal, out)
-	return out
-}
-
-// MultiplyInto implements Engine following Algorithm 2: for each stage k the
-// owner P(q,j) packs the requested rows into a pooled buffer and hands it
-// off zero-copy (SendOwned) to every member of its process column; each
-// member receives into its reusable staging buffer (RecvInto recycles the
-// transport buffer), multiplies its compact block, and finally the partial
-// sums are all-reduced across the process row directly into out.
-func (e *SparsityAware15D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
-	grid := e.grid
-	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
-	f := hLocal.Cols
-	checkMultiplyShapes(r.ID, e.layout.Count(i), hLocal, out)
-	ws := e.ws[r.ID]
-	s := grid.Stages()
-	zHat := asMatrix(&ws.zh, e.layout.Count(i), f, growFloats(&ws.zhat, e.layout.Count(i)*f))
-	zHat.Zero()
-	for k := 0; k < s; k++ {
-		q := j*s + k
-		if q == i {
-			// I am the stage owner: serve every other member of my column,
-			// then multiply my own (full-width) diagonal-stage block locally.
-			var packedElems int64
-			for l := 0; l < grid.Rows; l++ {
-				if l == i {
-					continue
-				}
-				idx := e.recvIdx[l][q]
-				dst := l*grid.C + j
-				if len(idx) == 0 {
-					r.SendOwned(dst, k, nil, "alltoall")
-					continue
-				}
-				buf := r.GetFloats(len(idx) * f)
-				hLocal.GatherRowsInto(buf, idx)
-				packedElems += int64(len(buf))
-				r.SendOwned(dst, k, buf, "alltoall")
-			}
-			r.ChargeCompute("local", grid.world.Params.CopyTime(packedElems*machine.BytesPerElem))
-			blk := e.diag[i]
-			blk.SpMMAddInto(zHat, hLocal)
-			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
-			continue
-		}
-		src := q*grid.C + j
-		rows := len(e.recvIdx[i][q])
-		data := growFloats(&ws.recv, rows*f)
-		r.RecvInto(src, k, data, "alltoall")
-		if rows > 0 {
-			hq := asMatrix(&ws.hq, rows, f, data)
-			blk := e.compact[i][q]
-			blk.SpMMAddInto(zHat, hq)
-			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
-		}
+		prog = append(prog, instr{op: opAllReduce, group: grid.rowGroups[i]})
+		plan.progs[rank] = prog
 	}
-	// Drain: every stage owner sent to all column members, and every member
-	// received exactly its stage messages; but members of this column whose
-	// q ranges do not include row i still sent nothing to us, so no drain is
-	// needed — the stage schedule is a perfect matching.
-	row := grid.rowGroups[i]
-	row.AllReduceSumInto(r, zHat.Data, out.Data, "allreduce")
+	return newPlanEngine(plan)
 }

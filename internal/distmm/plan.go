@@ -1,0 +1,639 @@
+package distmm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/machine"
+	"sagnn/internal/sparse"
+)
+
+// This file is the communication-plan IR. At setup, each algorithm compiles
+// its complete per-stage choreography — who sends which H-row indices to
+// whom, over which collective (broadcast, all-to-allv, point-to-point,
+// all-reduce), and which sparse block multiplies the staged rows — into an
+// immutable Plan: one instruction stream per rank. Multiply/MultiplyInto are
+// then a single shared executor loop over that stream, so all six engines
+// (1D/1.5D/2D × oblivious/sparsity-aware) share one data-movement code path.
+//
+// Because the schedule that executes is also a value, exact per-rank traffic
+// (Plan.Volumes) and modeled α–β time (Plan.Cost) can be computed by walking
+// it without moving any data — the substrate for algorithm auto-selection,
+// capacity planning, plan caching, and future overlap/2.5D/3D variants.
+
+// opcode enumerates the plan instruction set. Each opcode corresponds to one
+// staging step of the original hand-wired protocols; the executor applies
+// exactly the communication calls, SpMM accumulations, and machine-time
+// charges the pre-IR engines performed, in the same per-rank order, so plan
+// execution is bit-identical to them.
+type opcode uint8
+
+const (
+	// opBcastMul broadcasts a full H block over instr.group from group index
+	// instr.root (payload = hLocal when instr.own) and multiplies instr.blk
+	// against the staged rows into the accumulator. Sparsity-oblivious
+	// engines are sequences of this op.
+	opBcastMul opcode = iota
+	// opAllToAllv packs the requested H rows per peer (instr.sendIdx),
+	// charges the pack time, and runs one personalized exchange landing
+	// instr.recvRows[j] rows from each peer j. The sparsity-aware 1D
+	// exchange.
+	opAllToAllv
+	// opMulOwn multiplies instr.blk (a full-width diagonal block) against
+	// hLocal into the accumulator.
+	opMulOwn
+	// opMulRecvSlot multiplies instr.blk (a compact relabeled block) against
+	// the rows landed in all-to-allv slot instr.slot.
+	opMulRecvSlot
+	// opChargeUnpack charges the device-copy time of every row consumed by
+	// opMulRecvSlot since the last charge.
+	opChargeUnpack
+	// opSendRows gathers instr.idx rows of hLocal into a pooled buffer and
+	// hands it zero-copy to world rank instr.peer (tag instr.tag). An empty
+	// index list still sends the (empty) stage message.
+	opSendRows
+	// opChargePack charges the device-copy time of every row packed by
+	// opSendRows since the last charge.
+	opChargePack
+	// opRecvMul receives the stage message from world rank instr.peer into
+	// the staging buffer and, when rows arrived, multiplies instr.blk
+	// against them.
+	opRecvMul
+	// opAllReduce sums the per-rank partial accumulators over instr.group
+	// into the output block (the 1.5D partial-sum reduction).
+	opAllReduce
+)
+
+// instr is one plan instruction. Fields are operands; which are meaningful
+// depends on op (see the opcode docs).
+type instr struct {
+	op       opcode
+	group    *comm.Group // opBcastMul, opAllToAllv, opAllReduce
+	root     int         // opBcastMul: root's group index
+	own      bool        // opBcastMul: this rank is the root
+	peer     int         // opSendRows dst / opRecvMul src (world rank)
+	tag      int         // opSendRows / opRecvMul stage tag
+	rows     int         // staged H rows (opBcastMul, opMulRecvSlot, opRecvMul)
+	slot     int         // opAllToAllv: own group index; opMulRecvSlot: landing slot
+	idx      []int       // opSendRows: hLocal rows to gather
+	blk      *sparse.CSR // SpMM operand
+	sendIdx  [][]int     // opAllToAllv: per-peer hLocal rows to gather (nil = none)
+	recvRows []int       // opAllToAllv: per-peer landing row counts
+}
+
+// Plan is one algorithm's compiled communication schedule over a fixed
+// sparse matrix and process layout: an immutable per-rank instruction
+// stream plus the layout metadata the executor and the cost model share.
+// Plans are safe for concurrent execution by their world's ranks.
+type Plan struct {
+	name        string
+	world       *comm.World
+	layout      Layout
+	replication int
+	// partial: ranks accumulate into a private partial-sum buffer that a
+	// trailing opAllReduce folds into the output (the 1.5D schedule shape).
+	partial bool
+	// blockOf / outRows / gradGroups are per-world-rank layout metadata.
+	blockOf    []int
+	outRows    []int
+	gradGroups []*comm.Group
+	// widths pins each rank's dense operand width (2D plans split the dense
+	// width across the process grid at compile time); nil means the width is
+	// taken from hLocal at execution/prediction time. fFixed is the global
+	// dense width a widths-pinned plan was compiled for.
+	widths []int
+	fFixed int
+	progs  [][]instr
+}
+
+// Name returns the algorithm name the plan was compiled from.
+func (p *Plan) Name() string { return p.name }
+
+// Replication returns the 1.5D replication factor c (1 for 1D, the grid
+// dimension r for 2D plans).
+func (p *Plan) Replication() int { return p.replication }
+
+// Ranks returns the world size the plan is compiled for.
+func (p *Plan) Ranks() int { return len(p.progs) }
+
+// widthOf resolves rank's dense operand width for a prediction at global
+// width f, validating f against a width-pinned (2D) plan.
+func (p *Plan) widthOf(rank, f int) int {
+	if p.widths == nil {
+		return f
+	}
+	if f != p.fFixed {
+		panic(fmt.Sprintf("distmm: plan %s compiled for dense width %d, asked about %d", p.name, p.fFixed, f))
+	}
+	return p.widths[rank]
+}
+
+// RankVolume is one rank's exact predicted traffic for a single execution of
+// the plan at dense width f: the numbers comm.Stats would measure.
+type RankVolume struct {
+	SentBytes int64
+	RecvBytes int64
+	MsgsSent  int64
+}
+
+// Volumes walks the schedule and returns, per rank, the exact send/receive
+// bytes and message counts one execution at dense width f produces — equal,
+// by construction, to what comm.Stats measures when the plan runs (pinned by
+// TestPlanVolumesMatchMeasured). No data moves.
+func (p *Plan) Volumes(f int) []RankVolume {
+	vols := make([]RankVolume, len(p.progs))
+	for rank, prog := range p.progs {
+		w := p.widthOf(rank, f)
+		v := &vols[rank]
+		for i := range prog {
+			in := &prog[i]
+			switch in.op {
+			case opBcastMul:
+				nb := int64(in.rows*w) * machine.BytesPerElem
+				if in.own {
+					v.SentBytes += nb
+					v.MsgsSent++
+				} else {
+					v.RecvBytes += nb
+				}
+			case opAllToAllv:
+				var partners int64
+				for j := range in.sendIdx {
+					if j == in.slot {
+						continue
+					}
+					s := int64(len(in.sendIdx[j])*w) * machine.BytesPerElem
+					rv := int64(in.recvRows[j]*w) * machine.BytesPerElem
+					v.SentBytes += s
+					v.RecvBytes += rv
+					if s > 0 || rv > 0 {
+						partners++
+					}
+				}
+				v.MsgsSent += partners
+			case opSendRows:
+				v.SentBytes += int64(len(in.idx)*w) * machine.BytesPerElem
+				v.MsgsSent++
+			case opRecvMul:
+				v.RecvBytes += int64(in.rows*w) * machine.BytesPerElem
+			case opAllReduce:
+				if g := in.group.Size(); g > 1 {
+					nb := int64(p.outRows[rank]*w) * machine.BytesPerElem
+					v.SentBytes += nb
+					v.RecvBytes += nb
+					v.MsgsSent += int64(g - 1)
+				}
+			}
+		}
+	}
+	return vols
+}
+
+// Cost holds the modeled per-rank, per-phase seconds of one or more plan
+// executions, under the same bulk-synchronous convention as machine.Ledger:
+// the makespan is the sum over phases of the slowest rank.
+type Cost struct {
+	phases map[string][]float64
+	ranks  int
+}
+
+func newCost(ranks int) *Cost {
+	return &Cost{phases: make(map[string][]float64), ranks: ranks}
+}
+
+func (c *Cost) add(phase string, rank int, sec float64) {
+	row, ok := c.phases[phase]
+	if !ok {
+		row = make([]float64, c.ranks)
+		c.phases[phase] = row
+	}
+	row[rank] += sec
+}
+
+// Add returns the per-rank, per-phase sum c + o (phases unioned). A nil
+// receiver acts as zero, so epoch costs accumulate from nil across the
+// multiplies of an epoch.
+func (c *Cost) Add(o *Cost) *Cost {
+	if c == nil {
+		return o
+	}
+	d := newCost(c.ranks)
+	for ph, row := range c.phases {
+		d.phases[ph] = append([]float64(nil), row...)
+	}
+	if o != nil {
+		for ph, row := range o.phases {
+			dst, ok := d.phases[ph]
+			if !ok {
+				dst = make([]float64, c.ranks)
+				d.phases[ph] = dst
+			}
+			for i, v := range row {
+				dst[i] += v
+			}
+		}
+	}
+	return d
+}
+
+// Breakdown returns phase → slowest-rank seconds, the shape of
+// machine.Ledger.Breakdown.
+func (c *Cost) Breakdown() map[string]float64 {
+	out := make(map[string]float64, len(c.phases))
+	for ph, row := range c.phases {
+		maxv := 0.0
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		out[ph] = maxv
+	}
+	return out
+}
+
+// Total returns the modeled bulk-synchronous makespan: Σ over phases of the
+// per-phase maximum. Phases sum in sorted order (the machine.Ledger
+// convention) so the total is a deterministic float — auto-selection
+// compares totals exactly.
+func (c *Cost) Total() float64 {
+	bd := c.Breakdown()
+	phases := make([]string, 0, len(bd))
+	for ph := range bd {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	t := 0.0
+	for _, ph := range phases {
+		t += bd[ph]
+	}
+	return t
+}
+
+// Cost walks the schedule and returns the modeled α–β plus compute time of
+// one execution at dense width f, applying exactly the charges the executor
+// applies — so a plan's predicted breakdown equals the ledger delta of
+// actually running it, without moving any data.
+func (p *Plan) Cost(params machine.Params, f int) *Cost {
+	c := newCost(len(p.progs))
+	for rank, prog := range p.progs {
+		w := p.widthOf(rank, f)
+		var packed, unpacked int64
+		for i := range prog {
+			in := &prog[i]
+			switch in.op {
+			case opBcastMul:
+				nb := int64(in.rows*w) * machine.BytesPerElem
+				c.add("bcast", rank, params.BcastTime(nb, in.group.Size()))
+				c.add("local", rank, params.SpMMTime(in.blk.Flops(w)))
+			case opAllToAllv:
+				var packElems, sendB, recvB int64
+				partners := 0
+				for j := range in.sendIdx {
+					packElems += int64(len(in.sendIdx[j]) * w)
+					if j == in.slot {
+						continue
+					}
+					s := int64(len(in.sendIdx[j])*w) * machine.BytesPerElem
+					rv := int64(in.recvRows[j]*w) * machine.BytesPerElem
+					sendB += s
+					recvB += rv
+					if s > 0 || rv > 0 {
+						partners++
+					}
+				}
+				c.add("local", rank, params.CopyTime(packElems*machine.BytesPerElem))
+				c.add("alltoall", rank, params.AllToAllvTime(sendB, recvB, partners))
+			case opMulOwn:
+				c.add("local", rank, params.SpMMTime(in.blk.Flops(w)))
+			case opMulRecvSlot:
+				c.add("local", rank, params.SpMMTime(in.blk.Flops(w)))
+				unpacked += int64(in.rows * w)
+			case opChargeUnpack:
+				c.add("local", rank, params.CopyTime(unpacked*machine.BytesPerElem))
+				unpacked = 0
+			case opSendRows:
+				nb := int64(len(in.idx)*w) * machine.BytesPerElem
+				c.add("alltoall", rank, params.P2PTime(nb))
+				packed += int64(len(in.idx) * w)
+			case opChargePack:
+				c.add("local", rank, params.CopyTime(packed*machine.BytesPerElem))
+				packed = 0
+			case opRecvMul:
+				if in.rows > 0 {
+					c.add("local", rank, params.SpMMTime(in.blk.Flops(w)))
+				}
+			case opAllReduce:
+				nb := int64(p.outRows[rank]*w) * machine.BytesPerElem
+				c.add("allreduce", rank, params.AllReduceTime(nb, in.group.Size()))
+			}
+		}
+	}
+	return c
+}
+
+// EpochCost sums the plan's modeled cost over the dense widths of an
+// epoch's multiplies (one Cost per width, accumulated).
+func (p *Plan) EpochCost(params machine.Params, widths []int) *Cost {
+	var c *Cost
+	for _, w := range widths {
+		c = c.Add(p.Cost(params, w))
+	}
+	return c
+}
+
+// EpochSentBytes sums the plan's predicted per-rank send bytes over the
+// dense widths of an epoch's multiplies.
+func (p *Plan) EpochSentBytes(widths []int) []int64 {
+	per := make([]int64, p.Ranks())
+	for _, w := range widths {
+		for i, v := range p.Volumes(w) {
+			per[i] += v.SentBytes
+		}
+	}
+	return per
+}
+
+// SentSummaryMB reduces per-rank sent bytes to (max, avg) megabytes — the
+// shape volume tables report.
+func SentSummaryMB(per []int64) (maxMB, avgMB float64) {
+	var total, maxSent int64
+	for _, b := range per {
+		total += b
+		if b > maxSent {
+			maxSent = b
+		}
+	}
+	const mb = 1e6
+	return float64(maxSent) / mb, float64(total) / float64(len(per)) / mb
+}
+
+// NewEngine compiles the named trainable engine ("oblivious-1d",
+// "sparsity-aware-1d", "oblivious-1.5d", "sparsity-aware-1.5d") with
+// replication factor c — the constructor the candidate sweeps drive from
+// CandidateSpec.Name, so the root API and the experiment harness build
+// candidates identically.
+func NewEngine(w *comm.World, name string, c int, aT *sparse.CSR, layout Layout) (Engine, error) {
+	switch name {
+	case "oblivious-1d":
+		return NewOblivious1D(w, aT, layout), nil
+	case "sparsity-aware-1d":
+		return NewSparsityAware1D(w, aT, layout), nil
+	case "oblivious-1.5d":
+		return NewOblivious15D(w, aT, c, layout), nil
+	case "sparsity-aware-1.5d":
+		return NewSparsityAware15D(w, aT, c, layout), nil
+	}
+	return nil, fmt.Errorf("distmm: unknown engine %q", name)
+}
+
+// CandidateSpec names one (algorithm, replication) configuration of the
+// algorithm-candidate sweep behind auto-selection and cost estimation.
+type CandidateSpec struct {
+	// Name is the engine name the spec compiles to ("oblivious-1d", ...).
+	Name string
+	// C is the 1.5D replication factor (1 for 1D, the grid dimension for
+	// 2D, 0 when the 2D grid is infeasible).
+	C int
+	// TwoD marks the standalone 2D kernels, which have no trainer wiring.
+	TwoD bool
+	// Skip is non-empty when p's factorization forbids the configuration.
+	Skip string
+}
+
+// EnumerateCandidates lists, in deterministic order, every algorithm
+// candidate at world size p: the 1D pair, the 1.5D pairs over c ∈ {2, 4},
+// then the 2D pair, with Skip set where p forbids the grid. Keeping the
+// enumeration here — next to the grid validation rules it mirrors — gives
+// AlgorithmAuto, Cluster.Estimate, and the experiment harness one sweep to
+// agree on.
+func EnumerateCandidates(p int) []CandidateSpec {
+	specs := []CandidateSpec{{Name: "oblivious-1d", C: 1}, {Name: "sparsity-aware-1d", C: 1}}
+	for _, c := range []int{2, 4} {
+		skip := ""
+		switch {
+		case p%c != 0:
+			skip = fmt.Sprintf("replication factor %d does not divide P=%d", c, p)
+		case (p/c)%c != 0:
+			skip = fmt.Sprintf("1.5D needs c² | P; got P=%d c=%d", p, c)
+		}
+		specs = append(specs,
+			CandidateSpec{Name: "oblivious-1.5d", C: c, Skip: skip},
+			CandidateSpec{Name: "sparsity-aware-1.5d", C: c, Skip: skip})
+	}
+	r := int(math.Round(math.Sqrt(float64(p))))
+	skip2d := ""
+	if r*r != p {
+		skip2d = fmt.Sprintf("2D grid needs square P, got %d", p)
+		r = 0
+	}
+	return append(specs,
+		CandidateSpec{Name: "oblivious-2d", C: r, TwoD: true, Skip: skip2d},
+		CandidateSpec{Name: "sparsity-aware-2d", C: r, TwoD: true, Skip: skip2d})
+}
+
+// execWS is one rank's reusable execution workspace: the staging buffer for
+// incoming rows, the partial-sum block, the per-peer all-to-allv pack and
+// landing buffers, and persistent matrix headers. After the first execution
+// has sized the buffers, steady-state executions do not allocate.
+type execWS struct {
+	recv     []float64
+	zhat     []float64
+	send     [][]float64 // send[j] points into sendBufs[j] (or nil)
+	sendBufs [][]float64
+	recvPtr  [][]float64 // recvPtr[j] points into recvBufs[j]
+	recvBufs [][]float64
+	hj, zh   dense.Matrix
+}
+
+// newExecWS builds the per-rank workspaces for a plan, pre-sizing the
+// per-peer slices when the schedule contains an all-to-allv.
+func newExecWS(p *Plan) []*execWS {
+	a2a := 0
+	for _, prog := range p.progs {
+		for i := range prog {
+			if prog[i].op == opAllToAllv && prog[i].group.Size() > a2a {
+				a2a = prog[i].group.Size()
+			}
+		}
+	}
+	ws := make([]*execWS, len(p.progs))
+	for i := range ws {
+		w := &execWS{}
+		if a2a > 0 {
+			w.send = make([][]float64, a2a)
+			w.sendBufs = make([][]float64, a2a)
+			w.recvPtr = make([][]float64, a2a)
+			w.recvBufs = make([][]float64, a2a)
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// execute runs rank r's instruction stream: hLocal in, out written. The
+// caller validates shapes; execute assumes them.
+func (p *Plan) execute(r *comm.Rank, hLocal, out *dense.Matrix, ws *execWS) {
+	f := hLocal.Cols
+	params := p.world.Params
+	acc := out
+	if p.partial {
+		acc = asMatrix(&ws.zh, out.Rows, f, growFloats(&ws.zhat, out.Rows*f))
+	}
+	acc.Zero()
+	var packed, unpacked int64
+	prog := p.progs[r.ID]
+	for i := range prog {
+		in := &prog[i]
+		switch in.op {
+		case opBcastMul:
+			var payload []float64
+			if in.own {
+				payload = hLocal.Data
+			}
+			data := in.group.BcastFloatsInto(r, in.root, payload, growFloats(&ws.recv, in.rows*f), "bcast")
+			in.blk.SpMMAddInto(acc, asMatrix(&ws.hj, in.rows, f, data))
+			r.ChargeCompute("local", params.SpMMTime(in.blk.Flops(f)))
+		case opAllToAllv:
+			var packElems int64
+			for j, idx := range in.sendIdx {
+				ws.send[j] = nil
+				if len(idx) == 0 {
+					continue
+				}
+				buf := growFloats(&ws.sendBufs[j], len(idx)*f)
+				hLocal.GatherRowsInto(buf, idx)
+				ws.send[j] = buf
+				packElems += int64(len(buf))
+			}
+			// Packing the requested rows is the extra local work
+			// sparsity-aware communication introduces (the larger "local"
+			// bars of the paper's Figure 4 breakdown).
+			r.ChargeCompute("local", params.CopyTime(packElems*machine.BytesPerElem))
+			for j, rows := range in.recvRows {
+				ws.recvPtr[j] = growFloats(&ws.recvBufs[j], rows*f)
+			}
+			in.group.AllToAllvInto(r, ws.send, ws.recvPtr, "alltoall")
+		case opMulOwn:
+			in.blk.SpMMAddInto(acc, hLocal)
+			r.ChargeCompute("local", params.SpMMTime(in.blk.Flops(f)))
+		case opMulRecvSlot:
+			in.blk.SpMMAddInto(acc, asMatrix(&ws.hj, in.rows, f, ws.recvPtr[in.slot]))
+			unpacked += int64(in.rows * f)
+			r.ChargeCompute("local", params.SpMMTime(in.blk.Flops(f)))
+		case opChargeUnpack:
+			r.ChargeCompute("local", params.CopyTime(unpacked*machine.BytesPerElem))
+			unpacked = 0
+		case opSendRows:
+			if len(in.idx) == 0 {
+				r.SendOwned(in.peer, in.tag, nil, "alltoall")
+				continue
+			}
+			buf := r.GetFloats(len(in.idx) * f)
+			hLocal.GatherRowsInto(buf, in.idx)
+			packed += int64(len(buf))
+			r.SendOwned(in.peer, in.tag, buf, "alltoall")
+		case opChargePack:
+			r.ChargeCompute("local", params.CopyTime(packed*machine.BytesPerElem))
+			packed = 0
+		case opRecvMul:
+			data := growFloats(&ws.recv, in.rows*f)
+			r.RecvInto(in.peer, in.tag, data)
+			if in.rows > 0 {
+				in.blk.SpMMAddInto(acc, asMatrix(&ws.hj, in.rows, f, data))
+				r.ChargeCompute("local", params.SpMMTime(in.blk.Flops(f)))
+			}
+		case opAllReduce:
+			in.group.AllReduceSumInto(r, acc.Data, out.Data, "allreduce")
+		}
+	}
+}
+
+// planEngine is the single executor behind every 1D and 1.5D engine: a Plan
+// plus per-rank workspaces. Constructors compile an algorithm into a Plan
+// and wrap it here.
+type planEngine struct {
+	plan *Plan
+	ws   []*execWS
+}
+
+func newPlanEngine(p *Plan) *planEngine {
+	engineBuilds.Add(1)
+	return &planEngine{plan: p, ws: newExecWS(p)}
+}
+
+// Name implements Engine.
+func (e *planEngine) Name() string { return e.plan.name }
+
+// Layout implements Engine.
+func (e *planEngine) Layout() Layout { return e.plan.layout }
+
+// BlockOf implements Engine.
+func (e *planEngine) BlockOf(rank int) int { return e.plan.blockOf[rank] }
+
+// GradGroup implements Engine.
+func (e *planEngine) GradGroup(rank int) *comm.Group { return e.plan.gradGroups[rank] }
+
+// Plan implements Engine: the compiled schedule backing this engine.
+func (e *planEngine) Plan() *Plan { return e.plan }
+
+// Multiply implements Engine.
+func (e *planEngine) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	out := dense.New(e.plan.outRows[r.ID], hLocal.Cols)
+	e.MultiplyInto(r, hLocal, out)
+	return out
+}
+
+// MultiplyInto implements Engine: one pass of the shared plan executor.
+func (e *planEngine) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
+	checkMultiplyShapes(r.ID, e.plan.outRows[r.ID], hLocal, out)
+	e.plan.execute(r, hLocal, out, e.ws[r.ID])
+}
+
+// SpMM2D is a standalone SUMMA-grid distributed SpMM kernel (oblivious or
+// sparsity-aware) backed by the same plan executor as the 1D/1.5D engines.
+// Process P(i,j) on the r×r grid holds the H block (rowBlock i, colBlock j);
+// the dense width is split across grid columns at construction, so Multiply
+// operands are the f-slice blocks rather than full-width block rows.
+type SpMM2D struct {
+	plan *Plan
+	rows Layout
+	cols Layout
+	ws   []*execWS
+}
+
+// Name identifies the engine.
+func (e *SpMM2D) Name() string { return e.plan.name }
+
+// RowLayout returns the distribution of matrix rows over grid rows.
+func (e *SpMM2D) RowLayout() Layout { return e.rows }
+
+// ColLayout returns the distribution of dense columns over grid columns.
+func (e *SpMM2D) ColLayout() Layout { return e.cols }
+
+// Plan returns the compiled schedule backing this kernel.
+func (e *SpMM2D) Plan() *Plan { return e.plan }
+
+// Multiply computes Z_ij for this rank given its local H_ij block.
+func (e *SpMM2D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
+	out := dense.New(e.plan.outRows[r.ID], e.plan.widths[r.ID])
+	e.MultiplyInto(r, hLocal, out)
+	return out
+}
+
+// MultiplyInto is Multiply writing into a caller-supplied block.
+func (e *SpMM2D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
+	wantRows, wantCols := e.plan.outRows[r.ID], e.plan.widths[r.ID]
+	if hLocal.Rows != wantRows || hLocal.Cols != wantCols {
+		panic(fmt.Sprintf("distmm: rank %d H block %dx%d, want %dx%d",
+			r.ID, hLocal.Rows, hLocal.Cols, wantRows, wantCols))
+	}
+	if out.Rows != wantRows || out.Cols != wantCols {
+		panic(fmt.Sprintf("distmm: rank %d out %dx%d, want %dx%d",
+			r.ID, out.Rows, out.Cols, wantRows, wantCols))
+	}
+	e.plan.execute(r, hLocal, out, e.ws[r.ID])
+}

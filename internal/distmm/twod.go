@@ -5,8 +5,6 @@ import (
 	"math"
 
 	"sagnn/internal/comm"
-	"sagnn/internal/dense"
-	"sagnn/internal/machine"
 	"sagnn/internal/sparse"
 )
 
@@ -17,7 +15,9 @@ import (
 // GNN training, so these engines are provided as standalone SpMM kernels
 // (with the paper's stationary-A optimization: the sparse blocks are
 // replicated along process rows once at setup, since A never changes during
-// training) rather than wired into the trainer.
+// training) rather than wired into the trainer. Their schedules compile
+// into the same Plan IR as the 1D/1.5D engines, so they participate in
+// volume and cost prediction (cluster.Estimate) on equal footing.
 //
 // Data layout for process P(i,j) on an r×r grid (rank = i·r + j):
 //
@@ -26,21 +26,23 @@ import (
 //	Z_ij — same shape as H_ij.
 //
 // Stage k of Multiply moves block H_kj down process column j (broadcast for
-// the oblivious engine; point-to-point gathers of only the needed rows for
+// the oblivious engine; point-to-point sends of only the needed rows for
 // the sparsity-aware engine) and accumulates Z_ij += A_ik · H_kj.
 
-// Grid2D maps ranks onto an r×r grid with row and column sub-communicators.
+// Grid2D maps ranks onto an r×r grid with column sub-communicators.
 type Grid2D struct {
 	R     int
 	world *comm.World
 	cols  []*comm.Group // cols[j] spans P(:,j), ordered by row
 }
 
-// NewGrid2D requires P to be a perfect square.
-func NewGrid2D(w *comm.World) *Grid2D {
+// NewGrid2D builds the r×r process grid. It errors when P is not a perfect
+// square — the validated entry point the root API reaches when pricing 2D
+// candidates.
+func NewGrid2D(w *comm.World) (*Grid2D, error) {
 	r := int(math.Round(math.Sqrt(float64(w.P))))
 	if r*r != w.P {
-		panic(fmt.Sprintf("distmm: 2D grid needs square P, got %d", w.P))
+		return nil, fmt.Errorf("distmm: 2D grid needs square P, got %d", w.P)
 	}
 	g := &Grid2D{R: r, world: w}
 	for j := 0; j < r; j++ {
@@ -50,7 +52,7 @@ func NewGrid2D(w *comm.World) *Grid2D {
 		}
 		g.cols = append(g.cols, w.NewGroup(members))
 	}
-	return g
+	return g, nil
 }
 
 // RowOf returns the grid row of a world rank.
@@ -58,29 +60,6 @@ func (g *Grid2D) RowOf(rank int) int { return rank / g.R }
 
 // ColOf returns the grid column of a world rank.
 func (g *Grid2D) ColOf(rank int) int { return rank % g.R }
-
-// Oblivious2D is the sparsity-oblivious SUMMA SpMM: every stage broadcasts
-// a full H block down each process column.
-type Oblivious2D struct {
-	grid *Grid2D
-	rows Layout // n split into r row blocks
-	cols Layout // f split into r column blocks
-	// blocks[i][k] = A_{ik}, replicated along process row i.
-	blocks [][]*sparse.CSR
-}
-
-// NewOblivious2D splits aT into r×r blocks and the dense width f into r
-// column blocks.
-func NewOblivious2D(w *comm.World, aT *sparse.CSR, f int) *Oblivious2D {
-	grid := NewGrid2D(w)
-	r := grid.R
-	if aT.NumRows != aT.NumCols {
-		panic("distmm: 2D needs a square sparse matrix")
-	}
-	e := &Oblivious2D{grid: grid, rows: UniformLayout(aT.NumRows, r), cols: UniformLayout(f, r)}
-	e.blocks = splitBlocks(aT, e.rows)
-	return e
-}
 
 // splitBlocks cuts aT into layout×layout blocks.
 func splitBlocks(aT *sparse.CSR, lay Layout) [][]*sparse.CSR {
@@ -98,148 +77,100 @@ func splitBlocks(aT *sparse.CSR, lay Layout) [][]*sparse.CSR {
 	return out
 }
 
-// Name identifies the engine.
-func (e *Oblivious2D) Name() string { return "oblivious-2d" }
-
-// RowLayout returns the distribution of matrix rows over grid rows.
-func (e *Oblivious2D) RowLayout() Layout { return e.rows }
-
-// ColLayout returns the distribution of dense columns over grid columns.
-func (e *Oblivious2D) ColLayout() Layout { return e.cols }
-
-// Multiply computes Z_ij for this rank given its local H_ij block.
-func (e *Oblivious2D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
-	grid := e.grid
-	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
-	if hLocal.Rows != e.rows.Count(i) || hLocal.Cols != e.cols.Count(j) {
-		panic(fmt.Sprintf("distmm: rank %d H block %dx%d, want %dx%d",
-			r.ID, hLocal.Rows, hLocal.Cols, e.rows.Count(i), e.cols.Count(j)))
+// new2DPlan allocates the per-rank metadata every 2D plan shares: rank
+// i·r+j outputs a rows.Count(i) × cols.Count(j) block, so the dense width
+// is pinned per rank at compile time.
+func new2DPlan(name string, grid *Grid2D, rows, cols Layout, f int) *Plan {
+	p := grid.world.P
+	plan := &Plan{
+		name:        name,
+		world:       grid.world,
+		layout:      rows,
+		replication: grid.R,
+		blockOf:     make([]int, p),
+		outRows:     make([]int, p),
+		gradGroups:  make([]*comm.Group, p),
+		widths:      make([]int, p),
+		fFixed:      f,
+		progs:       make([][]instr, p),
 	}
-	col := grid.cols[j]
-	z := dense.New(e.rows.Count(i), e.cols.Count(j))
-	for k := 0; k < grid.R; k++ {
-		var payload []float64
-		if k == i {
-			payload = hLocal.Data
-		}
-		data := col.BcastFloats(r, k, payload, "bcast")
-		hk := dense.FromSlice(e.rows.Count(k), e.cols.Count(j), data)
-		blk := e.blocks[i][k]
-		blk.SpMMAddInto(z, hk)
-		r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(hk.Cols)))
+	for rank := 0; rank < p; rank++ {
+		i, j := grid.RowOf(rank), grid.ColOf(rank)
+		plan.blockOf[rank] = i
+		plan.outRows[rank] = rows.Count(i)
+		plan.widths[rank] = cols.Count(j)
 	}
-	return z
+	return plan
 }
 
-// SparsityAware2D sends, at each SUMMA stage, only the H rows named by the
-// nonzero columns of A_{ik} — the paper's NnzCols idea on a 2D grid. The
-// needed row set depends only on the sparse block, so it is identical for
-// every process column.
-type SparsityAware2D struct {
-	grid *Grid2D
-	rows Layout
-	cols Layout
-	// recvIdx[i][k] = NnzCols(A_{ik}) as k-local row indices.
-	recvIdx [][][]int
-	// compact[i][k] = A_{ik} with columns relabeled to recvIdx positions
-	// (diagonal k==i blocks stay full width).
-	compact [][]*sparse.CSR
-	diag    []*sparse.CSR
-}
-
-// NewSparsityAware2D computes the NnzCols structure on the 2D layout.
-func NewSparsityAware2D(w *comm.World, aT *sparse.CSR, f int) *SparsityAware2D {
-	grid := NewGrid2D(w)
-	r := grid.R
+// check2DInputs validates the shared 2D constructor contract.
+func check2DInputs(aT *sparse.CSR) error {
 	if aT.NumRows != aT.NumCols {
-		panic("distmm: 2D needs a square sparse matrix")
+		return fmt.Errorf("distmm: 2D needs a square sparse matrix, got %dx%d", aT.NumRows, aT.NumCols)
 	}
-	e := &SparsityAware2D{grid: grid, rows: UniformLayout(aT.NumRows, r), cols: UniformLayout(f, r)}
-	blocks := splitBlocks(aT, e.rows)
-	e.recvIdx = make([][][]int, r)
-	e.compact = make([][]*sparse.CSR, r)
-	e.diag = make([]*sparse.CSR, r)
-	for i := 0; i < r; i++ {
-		e.recvIdx[i] = make([][]int, r)
-		e.compact[i] = make([]*sparse.CSR, r)
-		for k := 0; k < r; k++ {
-			blk := blocks[i][k]
+	return nil
+}
+
+// NewOblivious2D compiles the sparsity-oblivious SUMMA SpMM: every stage
+// broadcasts a full H block down each process column. aT is split into r×r
+// blocks and the dense width f into r column blocks.
+func NewOblivious2D(w *comm.World, aT *sparse.CSR, f int) (*SpMM2D, error) {
+	grid, err := NewGrid2D(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := check2DInputs(aT); err != nil {
+		return nil, err
+	}
+	rows, cols := UniformLayout(aT.NumRows, grid.R), UniformLayout(f, grid.R)
+	blocks := splitBlocks(aT, rows)
+	plan := new2DPlan("oblivious-2d", grid, rows, cols, f)
+	for rank := 0; rank < w.P; rank++ {
+		i, j := grid.RowOf(rank), grid.ColOf(rank)
+		prog := make([]instr, 0, grid.R)
+		for k := 0; k < grid.R; k++ {
+			prog = append(prog, instr{op: opBcastMul, group: grid.cols[j], root: k, own: k == i, rows: rows.Count(k), blk: blocks[i][k]})
+		}
+		plan.progs[rank] = prog
+	}
+	return &SpMM2D{plan: plan, rows: rows, cols: cols, ws: newExecWS(plan)}, nil
+}
+
+// NewSparsityAware2D compiles the 2D kernel that sends, at each SUMMA
+// stage, only the H rows named by the nonzero columns of A_{ik} — the
+// paper's NnzCols idea on a 2D grid. The needed row set depends only on the
+// sparse block, so it is identical for every process column.
+func NewSparsityAware2D(w *comm.World, aT *sparse.CSR, f int) (*SpMM2D, error) {
+	grid, err := NewGrid2D(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := check2DInputs(aT); err != nil {
+		return nil, err
+	}
+	rows, cols := UniformLayout(aT.NumRows, grid.R), UniformLayout(f, grid.R)
+	sched := buildNnzSchedule(aT, rows)
+	plan := new2DPlan("sparsity-aware-2d", grid, rows, cols, f)
+	for rank := 0; rank < w.P; rank++ {
+		i, j := grid.RowOf(rank), grid.ColOf(rank)
+		prog := make([]instr, 0, 2*grid.R)
+		for k := 0; k < grid.R; k++ {
 			if k == i {
-				e.diag[i] = blk
+				// Stage owner: serve each P(l,j) the rows recvIdx[l][k] of
+				// my H block, then multiply my own diagonal block.
+				for l := 0; l < grid.R; l++ {
+					if l == i {
+						continue
+					}
+					prog = append(prog, instr{op: opSendRows, peer: l*grid.R + j, tag: k, idx: sched.recvIdx[l][k]})
+				}
+				prog = append(prog, instr{op: opChargePack})
+				prog = append(prog, instr{op: opMulOwn, blk: sched.diag[i]})
 				continue
 			}
-			nnz := blk.NnzColsInRange(sparse.ColRange{Lo: 0, Hi: blk.NumCols})
-			e.recvIdx[i][k] = nnz
-			remap := make([]int, blk.NumCols)
-			for x := range remap {
-				remap[x] = -1
-			}
-			for pos, c := range nnz {
-				remap[c] = pos
-			}
-			e.compact[i][k] = blk.RelabelCols(remap, len(nnz))
+			prog = append(prog, instr{op: opRecvMul, peer: k*grid.R + j, tag: k, rows: len(sched.recvIdx[i][k]), blk: sched.compact[i][k]})
 		}
+		plan.progs[rank] = prog
 	}
-	return e
-}
-
-// Name identifies the engine.
-func (e *SparsityAware2D) Name() string { return "sparsity-aware-2d" }
-
-// RowLayout returns the distribution of matrix rows over grid rows.
-func (e *SparsityAware2D) RowLayout() Layout { return e.rows }
-
-// ColLayout returns the distribution of dense columns over grid columns.
-func (e *SparsityAware2D) ColLayout() Layout { return e.cols }
-
-// Multiply computes Z_ij. At stage k, process P(k,j) serves each P(i,j)
-// the rows recvIdx[i][k] of its H block; everyone multiplies its compact
-// block.
-func (e *SparsityAware2D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
-	grid := e.grid
-	i, j := grid.RowOf(r.ID), grid.ColOf(r.ID)
-	if hLocal.Rows != e.rows.Count(i) || hLocal.Cols != e.cols.Count(j) {
-		panic(fmt.Sprintf("distmm: rank %d H block %dx%d, want %dx%d",
-			r.ID, hLocal.Rows, hLocal.Cols, e.rows.Count(i), e.cols.Count(j)))
-	}
-	f := hLocal.Cols
-	z := dense.New(e.rows.Count(i), e.cols.Count(j))
-	for k := 0; k < grid.R; k++ {
-		if k == i {
-			// Stage owner: serve the column, multiply own diagonal block.
-			var packed int64
-			for l := 0; l < grid.R; l++ {
-				if l == i {
-					continue
-				}
-				idx := e.recvIdx[l][k]
-				dst := l*grid.R + j
-				if len(idx) == 0 {
-					r.Send(dst, k, nil, "alltoall")
-					continue
-				}
-				buf := hLocal.GatherRows(idx)
-				packed += int64(len(buf.Data))
-				r.Send(dst, k, buf.Data, "alltoall")
-			}
-			r.ChargeCompute("local", grid.world.Params.CopyTime(packed*machine.BytesPerElem))
-			blk := e.diag[i]
-			blk.SpMMAddInto(z, hLocal)
-			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
-			continue
-		}
-		src := k*grid.R + j
-		data := r.Recv(src, k, "alltoall")
-		rows := len(e.recvIdx[i][k])
-		if len(data) != rows*f {
-			panic(fmt.Sprintf("distmm: rank %d 2D stage %d expected %d elems, got %d", r.ID, k, rows*f, len(data)))
-		}
-		if rows > 0 {
-			hk := dense.FromSlice(rows, f, data)
-			blk := e.compact[i][k]
-			blk.SpMMAddInto(z, hk)
-			r.ChargeCompute("local", grid.world.Params.SpMMTime(blk.Flops(f)))
-		}
-	}
-	return z
+	return &SpMM2D{plan: plan, rows: rows, cols: cols, ws: newExecWS(plan)}, nil
 }

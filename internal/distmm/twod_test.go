@@ -48,9 +48,22 @@ func run2D(t *testing.T, w *comm.World, e engine2D, h *dense.Matrix) *dense.Matr
 	return out
 }
 
+// make2D builds a 2D engine, failing the test on constructor error.
+func make2D(t *testing.T, mk func() (*SpMM2D, error)) *SpMM2D {
+	t.Helper()
+	e, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func TestGrid2DStructure(t *testing.T) {
 	w := comm.NewWorld(9, machine.Perlmutter())
-	g := NewGrid2D(w)
+	g, err := NewGrid2D(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.R != 3 {
 		t.Fatalf("R=%d", g.R)
 	}
@@ -59,14 +72,17 @@ func TestGrid2DStructure(t *testing.T) {
 	}
 }
 
-func TestGrid2DNonSquarePanics(t *testing.T) {
+func TestGrid2DNonSquareErrors(t *testing.T) {
 	w := comm.NewWorld(6, machine.Perlmutter())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewGrid2D(w)
+	if _, err := NewGrid2D(w); err == nil {
+		t.Fatal("expected error for non-square P")
+	}
+	if _, err := NewOblivious2D(w, randomSym(19, 24, 4), 6); err == nil {
+		t.Fatal("expected oblivious constructor to propagate the grid error")
+	}
+	if _, err := NewSparsityAware2D(w, randomSym(19, 24, 4), 6); err == nil {
+		t.Fatal("expected sparsity-aware constructor to propagate the grid error")
+	}
 }
 
 func TestOblivious2DMatchesSerial(t *testing.T) {
@@ -75,7 +91,7 @@ func TestOblivious2DMatchesSerial(t *testing.T) {
 	want := a.SpMM(h)
 	for _, p := range []int{1, 4, 9, 16} {
 		w := comm.NewWorld(p, machine.Perlmutter())
-		e := NewOblivious2D(w, a, h.Cols)
+		e := make2D(t, func() (*SpMM2D, error) { return NewOblivious2D(w, a, h.Cols) })
 		got := run2D(t, w, e, h)
 		if got.MaxAbsDiff(want) > 1e-10 {
 			t.Fatalf("p=%d diff %g", p, got.MaxAbsDiff(want))
@@ -89,7 +105,7 @@ func TestSparsityAware2DMatchesSerial(t *testing.T) {
 	want := a.SpMM(h)
 	for _, p := range []int{1, 4, 9, 16} {
 		w := comm.NewWorld(p, machine.Perlmutter())
-		e := NewSparsityAware2D(w, a, h.Cols)
+		e := make2D(t, func() (*SpMM2D, error) { return NewSparsityAware2D(w, a, h.Cols) })
 		got := run2D(t, w, e, h)
 		if got.MaxAbsDiff(want) > 1e-10 {
 			t.Fatalf("p=%d diff %g", p, got.MaxAbsDiff(want))
@@ -103,7 +119,7 @@ func TestSparsityAware2DNarrowF(t *testing.T) {
 	h := dense.NewRandom(rand.New(rand.NewSource(26)), 36, 2, 1.0)
 	want := a.SpMM(h)
 	w := comm.NewWorld(9, machine.Perlmutter())
-	e := NewSparsityAware2D(w, a, 2)
+	e := make2D(t, func() (*SpMM2D, error) { return NewSparsityAware2D(w, a, 2) })
 	got := run2D(t, w, e, h)
 	if got.MaxAbsDiff(want) > 1e-10 {
 		t.Fatalf("diff %g", got.MaxAbsDiff(want))
@@ -116,11 +132,11 @@ func TestSparsityAware2DCommunicatesLess(t *testing.T) {
 	h := dense.NewRandom(rand.New(rand.NewSource(28)), 360, 18, 1.0)
 
 	wO := comm.NewWorld(9, machine.Perlmutter())
-	run2D(t, wO, NewOblivious2D(wO, a, h.Cols), h)
+	run2D(t, wO, make2D(t, func() (*SpMM2D, error) { return NewOblivious2D(wO, a, h.Cols) }), h)
 	oblivRecv := wO.Stats().TotalRecv()
 
 	wS := comm.NewWorld(9, machine.Perlmutter())
-	run2D(t, wS, NewSparsityAware2D(wS, a, h.Cols), h)
+	run2D(t, wS, make2D(t, func() (*SpMM2D, error) { return NewSparsityAware2D(wS, a, h.Cols) }), h)
 	saRecv := wS.Stats().TotalRecv()
 
 	if saRecv*2 > oblivRecv {

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/distmm"
+	"sagnn/internal/gcn"
+	"sagnn/internal/gen"
+	"sagnn/internal/machine"
+	"sagnn/internal/sparse"
+)
+
+// EstimateRow is one candidate of the predicted-vs-measured cost table: the
+// plan-modeled epoch time and send volumes next to the volumes actually
+// measured by executing a single distributed SpMM — no training. It
+// reproduces the paper's algorithm-comparison methodology from structure
+// alone: the winner can be read off the predicted column, and the Match
+// column certifies the prediction byte-for-byte. The candidate set, epoch
+// widths, and pricing come from the same distmm helpers AlgorithmAuto
+// uses, so this table cannot drift from what Distribute would select.
+type EstimateRow struct {
+	Algorithm string
+	C         int
+	// Skipped is non-empty (and the figures zero) when the candidate cannot
+	// run at this process count.
+	Skipped string
+	// EpochSec / Breakdown are the modeled time of one epoch's distributed
+	// SpMMs under the α–β machine model.
+	EpochSec  float64
+	Breakdown map[string]float64
+	// PredMaxMB / PredAvgMB are plan-predicted per-rank send volumes for
+	// one epoch.
+	PredMaxMB float64
+	PredAvgMB float64
+	// PredMultiplyBytes / MeasMultiplyBytes compare one multiply at the
+	// feature width: plan-predicted vs measured total send bytes. Match
+	// reports exact equality.
+	PredMultiplyBytes int64
+	MeasMultiplyBytes int64
+	Match             bool
+}
+
+// estWidths returns the dense widths of the distributed SpMMs in one epoch
+// of the default 3-layer/16-hidden GCN on ds — the same formula the root
+// API's default CostModel prices (gcn owns it, so the two cannot drift).
+func estWidths(ds *gen.Dataset) []int {
+	const hidden, layers = 16, 3
+	return gcn.EpochMultiplyWidths(ds.FeatureDim(), hidden, ds.Classes, layers, false)
+}
+
+// measureMultiply executes one collective Multiply at h's width and returns
+// the total bytes sent across ranks.
+func measureMultiply(w *comm.World, e distmm.Engine, h *dense.Matrix) int64 {
+	lay := e.Layout()
+	before := w.Stats().TotalSent()
+	w.Run(func(r *comm.Rank) {
+		lo, hi := lay.Range(e.BlockOf(r.ID))
+		e.Multiply(r, h.SliceRows(lo, hi).Clone())
+	})
+	return w.Stats().TotalSent() - before
+}
+
+// measure2D executes one collective 2D Multiply and returns the total
+// bytes sent.
+func measure2D(w *comm.World, e *distmm.SpMM2D, h *dense.Matrix) int64 {
+	rows, cols := e.RowLayout(), e.ColLayout()
+	r := rows.Blocks()
+	before := w.Stats().TotalSent()
+	w.Run(func(rk *comm.Rank) {
+		i, j := rk.ID/r, rk.ID%r
+		rlo, rhi := rows.Range(i)
+		clo, chi := cols.Range(j)
+		hij := dense.New(rhi-rlo, chi-clo)
+		for x := rlo; x < rhi; x++ {
+			copy(hij.Row(x-rlo), h.Row(x)[clo:chi])
+		}
+		e.Multiply(rk, hij)
+	})
+	return w.Stats().TotalSent() - before
+}
+
+// new2D builds one 2D kernel by name.
+func new2D(w *comm.World, name string, aHat *sparse.CSR, f int) (*distmm.SpMM2D, error) {
+	if name == "oblivious-2d" {
+		return distmm.NewOblivious2D(w, aHat, f)
+	}
+	return distmm.NewSparsityAware2D(w, aHat, f)
+}
+
+// EstimateTable prices every algorithm candidate for a preset at process
+// count p — the same sweep AlgorithmAuto runs, plus the 2D kernels where P
+// is square — and verifies each prediction by executing exactly one
+// distributed SpMM per feasible candidate.
+func EstimateTable(preset gen.Preset, scaleDiv, p int, seed int64) []EstimateRow {
+	ds := loadDataset(preset, seed, scaleDiv)
+	n := ds.G.NumVertices()
+	widths := estWidths(ds)
+	f0 := widths[0]
+	aHat := ds.G.NormalizedAdjacency()
+	h := dense.NewRandom(rand.New(rand.NewSource(seed+1)), n, f0, 1.0)
+
+	var rows []EstimateRow
+	for _, spec := range distmm.EnumerateCandidates(p) {
+		row := EstimateRow{Algorithm: spec.Name, C: spec.C, Skipped: spec.Skip}
+		if row.Skipped == "" && n < max(spec.C, p/spec.C) {
+			row.Skipped = fmt.Sprintf("%d vertices cannot fill the grid", n)
+		}
+		if row.Skipped != "" {
+			rows = append(rows, row)
+			continue
+		}
+		w := comm.NewWorld(p, machine.Perlmutter())
+		if spec.TwoD {
+			fill2DRow(&row, w, aHat, h, widths, f0)
+		} else {
+			e, err := distmm.NewEngine(w, spec.Name, spec.C, aHat, distmm.UniformLayout(n, p/spec.C))
+			if err != nil {
+				panic(err)
+			}
+			fillRow(&row, e.Plan(), w.Params, widths, f0)
+			row.MeasMultiplyBytes = measureMultiply(w, e, h)
+		}
+		row.Match = row.MeasMultiplyBytes == row.PredMultiplyBytes
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// fillRow fills a row's modeled epoch figures and the one-multiply
+// prediction at width f0 from a compiled plan.
+func fillRow(row *EstimateRow, pl *distmm.Plan, params machine.Params, widths []int, f0 int) {
+	cost := pl.EpochCost(params, widths)
+	row.EpochSec = cost.Total()
+	row.Breakdown = cost.Breakdown()
+	row.PredMaxMB, row.PredAvgMB = distmm.SentSummaryMB(pl.EpochSentBytes(widths))
+	for _, b := range pl.EpochSentBytes([]int{f0}) {
+		row.PredMultiplyBytes += b
+	}
+}
+
+// fill2DRow prices a 2D kernel — one compile per distinct width, since 2D
+// plans pin the dense width and the block/NnzCols structure work is
+// width-independent — and measures one multiply at the feature width.
+func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matrix, widths []int, f0 int) {
+	counts := make(map[int]int)
+	order := make([]int, 0, len(widths))
+	for _, f := range widths {
+		if counts[f] == 0 {
+			order = append(order, f)
+		}
+		counts[f]++
+	}
+	var cost *distmm.Cost
+	per := make([]int64, w.P)
+	var first *distmm.SpMM2D
+	for _, f := range order {
+		e, err := new2D(w, row.Algorithm, aHat, f)
+		if err != nil {
+			row.Skipped = err.Error()
+			return
+		}
+		if f == f0 && first == nil {
+			first = e
+		}
+		one := e.Plan().Cost(w.Params, f)
+		for i := 0; i < counts[f]; i++ {
+			cost = cost.Add(one)
+		}
+		for i, b := range e.Plan().EpochSentBytes([]int{f}) {
+			per[i] += b * int64(counts[f])
+		}
+	}
+	row.EpochSec = cost.Total()
+	row.Breakdown = cost.Breakdown()
+	row.PredMaxMB, row.PredAvgMB = distmm.SentSummaryMB(per)
+	for _, b := range first.Plan().EpochSentBytes([]int{f0}) {
+		row.PredMultiplyBytes += b
+	}
+	row.MeasMultiplyBytes = measure2D(w, first, h)
+}
+
+// PrintEstimateTable renders the predicted-vs-measured table.
+func PrintEstimateTable(w io.Writer, title string, rows []EstimateRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-22s %2s %12s %10s %10s %14s %14s %6s\n",
+		"algorithm", "c", "epoch(ms)", "max(MB)", "avg(MB)", "pred(B/mult)", "meas(B/mult)", "match")
+	for _, r := range rows {
+		if r.Skipped != "" {
+			fmt.Fprintf(w, "%-22s %2d %12s %10s %10s %14s %14s %6s  (%s)\n",
+				r.Algorithm, r.C, "-", "-", "-", "-", "-", "-", r.Skipped)
+			continue
+		}
+		fmt.Fprintf(w, "%-22s %2d %12.3f %10.3f %10.3f %14d %14d %6v\n",
+			r.Algorithm, r.C, r.EpochSec*1e3, r.PredMaxMB, r.PredAvgMB,
+			r.PredMultiplyBytes, r.MeasMultiplyBytes, r.Match)
+	}
+}

@@ -206,3 +206,37 @@ func TestTable3(t *testing.T) {
 		t.Fatal("empty output")
 	}
 }
+
+func TestEstimateTablePredictionsMatch(t *testing.T) {
+	rows := EstimateTable(gen.RedditSim, testScale, 8, 3)
+	// P=8: 1D ×2 and c=2 ×2 feasible; c=4 and 2D rows skipped.
+	feasible := 0
+	for _, r := range rows {
+		if r.Skipped != "" {
+			continue
+		}
+		feasible++
+		if !r.Match {
+			t.Errorf("%s c=%d: predicted %d bytes per multiply, measured %d",
+				r.Algorithm, r.C, r.PredMultiplyBytes, r.MeasMultiplyBytes)
+		}
+		if r.EpochSec <= 0 || r.PredMaxMB <= 0 {
+			t.Errorf("unpriced feasible row %+v", r)
+		}
+	}
+	if feasible != 4 {
+		t.Fatalf("expected 4 feasible candidates at P=8, got %d", feasible)
+	}
+	var buf bytes.Buffer
+	PrintEstimateTable(&buf, "estimate", rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty output")
+	}
+
+	// On a square P the 2D kernels are priced and verified too.
+	for _, r := range EstimateTable(gen.RedditSim, testScale, 16, 3) {
+		if r.Skipped == "" && !r.Match {
+			t.Errorf("P=16 %s c=%d: predicted %d, measured %d", r.Algorithm, r.C, r.PredMultiplyBytes, r.MeasMultiplyBytes)
+		}
+	}
+}

@@ -41,6 +41,27 @@ func LayerDims(fin, hidden, classes, layers int) []int {
 	return dims
 }
 
+// EpochMultiplyWidths returns the dense operand widths of the distributed
+// SpMMs one full-batch training epoch issues, in trainer order: L forward
+// multiplies at the layer input widths dims[0..L−1], then L−1 backward
+// multiplies — at the output-gradient widths dims[L..2] for the GCN
+// convolution, or at the layer input widths dims[L−1..1] for SAGEConv
+// (the backward multiply runs on the aggregated-path split of G·Wᵀ). The
+// communication-plan cost model prices epochs against exactly this
+// sequence, so it lives here, next to the trainer that defines it.
+func EpochMultiplyWidths(fin, hidden, classes, layers int, sage bool) []int {
+	dims := LayerDims(fin, hidden, classes, layers)
+	widths := append([]int(nil), dims[:layers]...)
+	for l := layers; l >= 2; l-- {
+		if sage {
+			widths = append(widths, dims[l-1])
+		} else {
+			widths = append(widths, dims[l])
+		}
+	}
+	return widths
+}
+
 // Variant selects the layer operation.
 type Variant int
 

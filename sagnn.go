@@ -94,6 +94,24 @@ const (
 	SparsityAware15D Algorithm = "sparsity-aware-1.5d"
 )
 
+// AlgorithmAuto asks Distribute to choose for you: it compiles candidate
+// communication plans (1D and 1.5D, oblivious and sparsity-aware, over the
+// replication factors the process count allows), prices each one with the
+// cluster's α–β machine model — no data moves — and selects the minimum
+// modeled epoch cost. The decision and the full per-candidate table are
+// recorded in DistGraph.Report; Cluster.Estimate returns the same table
+// without building a DistGraph.
+const AlgorithmAuto Algorithm = "auto"
+
+// The 2D SUMMA-grid kernels. They are standalone SpMM engines (CAGNET found
+// 2D less performant than 1D/1.5D for GNN training, so they are not wired
+// into the trainer), but Cluster.Estimate prices them alongside the
+// trainable algorithms when the process count is a perfect square.
+const (
+	Oblivious2D     Algorithm = "oblivious-2d"
+	SparsityAware2D Algorithm = "sparsity-aware-2d"
+)
+
 // TrainConfig configures a one-shot distributed training run via the
 // legacy Train wrapper. New code should use NewCluster / Distribute /
 // NewSession, which separate the amortizable setup from training.
