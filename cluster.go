@@ -92,6 +92,12 @@ type DistOpts struct {
 	// distributed SpMMs a GCN of this configuration performs. The zero
 	// value selects the ModelConfig defaults (3 layers, 16 hidden).
 	CostModel ModelConfig
+	// Exec selects the plan executor: ExecSequential (the zero value) runs
+	// stage by stage; ExecOverlap pipelines each stage's SpMM against the
+	// next stage's communication with bit-identical results. AlgorithmAuto
+	// selects the minimum modeled epoch cost under this mode, and the
+	// candidate tables price both modes so the decision is auditable.
+	Exec ExecMode
 }
 
 // DistGraph is a dataset distributed across a cluster: the permuted
@@ -210,11 +216,13 @@ func (c *Cluster) Distribute(ds *Dataset, opts DistOpts) (*DistGraph, error) {
 	}
 	prep := prepare(ds, opts.Partitioner, k)
 	engine := buildEngine(c.world, opts.Algorithm, rep, prep)
+	engine.SetExecMode(opts.Exec)
 	cand := priceCandidate(opts.Algorithm, engine.Plan(), c.world.Params, widths)
 	cand.Selected = true
 	return c.newDistGraph(ds, opts, prep, engine, &Report{
 		Algorithm:        opts.Algorithm,
 		Replication:      rep,
+		Exec:             opts.Exec,
 		Candidates:       []Candidate{cand},
 		PartitionQuality: prep.quality,
 	}), nil

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"sagnn/internal/distmm"
 	"sagnn/internal/experiments"
 	"sagnn/internal/gen"
 )
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	estimate := flag.Bool("estimate", false, "print the predicted-vs-measured cost table (no training) and exit")
 	procs := flag.Int("p", 16, "process count for -estimate")
+	execMode := flag.String("exec", "seq", "plan executor for the measured multiply of -estimate: seq (stage by stage) or overlap (pipelined)")
 	flag.Parse()
 
 	t0 := time.Now()
@@ -42,7 +44,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-p must be a positive process count, got %d\n", *procs)
 			os.Exit(2)
 		}
-		runEstimate(*dataset, *scaleDiv, *procs, *seed)
+		mode := distmm.ExecSequential
+		switch *execMode {
+		case "seq", "sequential":
+		case "overlap":
+			mode = distmm.ExecOverlap
+		default:
+			fmt.Fprintf(os.Stderr, "-exec must be seq or overlap, got %q\n", *execMode)
+			os.Exit(2)
+		}
+		runEstimate(*dataset, *scaleDiv, *procs, *seed, mode)
 		fmt.Printf("\ncompleted in %v\n", time.Since(t0).Round(time.Millisecond))
 		return
 	}
@@ -87,11 +98,11 @@ func datasetsOr(flagVal string, defaults []gen.Preset) []gen.Preset {
 	return []gen.Preset{gen.Preset(flagVal)}
 }
 
-func runEstimate(dataset string, scaleDiv, p int, seed int64) {
+func runEstimate(dataset string, scaleDiv, p int, seed int64, mode distmm.ExecMode) {
 	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.RedditSim, gen.AmazonSim, gen.ProteinSim}) {
-		rows := experiments.EstimateTable(ds, scaleDiv, p, seed)
+		rows := experiments.EstimateTable(ds, scaleDiv, p, seed, mode)
 		experiments.PrintEstimateTable(os.Stdout,
-			fmt.Sprintf("Predicted vs measured communication cost — %s, P=%d", ds, p), rows)
+			fmt.Sprintf("Predicted vs measured communication cost — %s, P=%d, exec=%s", ds, p, mode), rows)
 		fmt.Println()
 	}
 }

@@ -21,10 +21,15 @@ type Candidate struct {
 	Algorithm   Algorithm
 	Replication int
 	// EpochSeconds is the modeled bulk-synchronous time of one epoch's
-	// distributed SpMMs (Σ over phases of the slowest rank). Weight-gradient
-	// reductions and dense GEMMs are identical across candidates at a fixed
-	// layout and are not included.
+	// distributed SpMMs (Σ over phases of the slowest rank) under the
+	// sequential executor. Weight-gradient reductions and dense GEMMs are
+	// identical across candidates at a fixed layout and are not included.
 	EpochSeconds float64
+	// OverlapSeconds is the same epoch priced under the overlapped executor
+	// (ExecOverlap): per pipelined stage, max(communication, compute)
+	// instead of their sum, so only the communication the SpMMs cannot hide
+	// remains on the critical path.
+	OverlapSeconds float64
 	// Breakdown splits EpochSeconds into phases ("bcast", "alltoall",
 	// "allreduce", "local").
 	Breakdown map[string]float64
@@ -47,6 +52,9 @@ type Report struct {
 	// Algorithm and Replication are the configuration in effect.
 	Algorithm   Algorithm
 	Replication int
+	// Exec is the plan executor in effect; under AlgorithmAuto the selection
+	// minimized this mode's modeled epoch cost.
+	Exec ExecMode
 	// Auto reports whether Distribute selected the algorithm itself.
 	Auto bool
 	// Candidates is the predicted cost table, in deterministic candidate
@@ -59,19 +67,19 @@ type Report struct {
 
 // String renders the candidate table for logs.
 func (r *Report) String() string {
-	s := fmt.Sprintf("algorithm=%s c=%d auto=%v\n", r.Algorithm, r.Replication, r.Auto)
-	s += fmt.Sprintf("%-24s %2s %12s %10s %10s %s\n", "candidate", "c", "epoch(ms)", "max(MB)", "avg(MB)", "note")
+	s := fmt.Sprintf("algorithm=%s c=%d exec=%s auto=%v\n", r.Algorithm, r.Replication, r.Exec, r.Auto)
+	s += fmt.Sprintf("%-24s %2s %12s %12s %10s %10s %s\n", "candidate", "c", "epoch(ms)", "overlap(ms)", "max(MB)", "avg(MB)", "note")
 	for _, c := range r.Candidates {
 		note := c.Skipped
 		if c.Selected {
 			note = "<== selected"
 		}
 		if c.Skipped != "" {
-			s += fmt.Sprintf("%-24s %2d %12s %10s %10s %s\n", c.Algorithm, c.Replication, "-", "-", "-", note)
+			s += fmt.Sprintf("%-24s %2d %12s %12s %10s %10s %s\n", c.Algorithm, c.Replication, "-", "-", "-", "-", note)
 			continue
 		}
-		s += fmt.Sprintf("%-24s %2d %12.3f %10.3f %10.3f %s\n",
-			c.Algorithm, c.Replication, c.EpochSeconds*1e3, c.MaxSentMB, c.AvgSentMB, note)
+		s += fmt.Sprintf("%-24s %2d %12.3f %12.3f %10.3f %10.3f %s\n",
+			c.Algorithm, c.Replication, c.EpochSeconds*1e3, c.OverlapSeconds*1e3, c.MaxSentMB, c.AvgSentMB, note)
 	}
 	return s
 }
@@ -108,18 +116,31 @@ func epochWidths(ds *Dataset, cfg ModelConfig) ([]int, error) {
 	return gcn.EpochMultiplyWidths(ds.FeatureDim(), cfg.Hidden, ds.Classes, cfg.Layers, cfg.SAGE), nil
 }
 
-// priceCandidate fills a Candidate from a compiled plan.
+// priceCandidate fills a Candidate from a compiled plan, pricing the epoch
+// under both executors so the table shows what overlap would buy each
+// algorithm.
 func priceCandidate(alg Algorithm, pl *distmm.Plan, params machine.Params, widths []int) Candidate {
 	cost := pl.EpochCost(params, widths)
+	overlap := pl.EpochCostWith(params, widths, distmm.ExecOverlap)
 	maxMB, avgMB := distmm.SentSummaryMB(pl.EpochSentBytes(widths))
 	return Candidate{
-		Algorithm:    alg,
-		Replication:  pl.Replication(),
-		EpochSeconds: cost.Total(),
-		Breakdown:    cost.Breakdown(),
-		MaxSentMB:    maxMB,
-		AvgSentMB:    avgMB,
+		Algorithm:      alg,
+		Replication:    pl.Replication(),
+		EpochSeconds:   cost.Total(),
+		OverlapSeconds: overlap.Total(),
+		Breakdown:      cost.Breakdown(),
+		MaxSentMB:      maxMB,
+		AvgSentMB:      avgMB,
 	}
+}
+
+// modeSeconds returns the candidate's modeled epoch cost under the executor
+// the caller will actually run — the figure auto-selection minimizes.
+func modeSeconds(c Candidate, mode ExecMode) float64 {
+	if mode == ExecOverlap {
+		return c.OverlapSeconds
+	}
+	return c.EpochSeconds
 }
 
 // preparedFor returns (building and caching as needed) the dataset staged
@@ -161,8 +182,8 @@ func sweepTrainable(world *comm.World, ds *Dataset, opts DistOpts, widths []int,
 		prep := preparedFor(preps, ds, opts.Partitioner, p/spec.C)
 		engine := buildEngine(world, alg, spec.C, prep)
 		cand := priceCandidate(alg, engine.Plan(), world.Params, widths)
-		if best < 0 || cand.EpochSeconds < bestCost {
-			best, bestCost = len(cands), cand.EpochSeconds
+		if sec := modeSeconds(cand, opts.Exec); best < 0 || sec < bestCost {
+			best, bestCost = len(cands), sec
 		}
 		cands = append(cands, cand)
 		engines, rowPreps = append(engines, engine), append(rowPreps, prep)
@@ -188,9 +209,11 @@ func (c *Cluster) distributeAuto(ds *Dataset, opts DistOpts) (*DistGraph, error)
 	if best < 0 {
 		return nil, fmt.Errorf("sagnn: no feasible algorithm candidate for %d vertices on %d processes", ds.G.NumVertices(), c.p)
 	}
+	engines[best].SetExecMode(opts.Exec)
 	return c.newDistGraph(ds, opts, rowPreps[best], engines[best], &Report{
 		Algorithm:        cands[best].Algorithm,
 		Replication:      cands[best].Replication,
+		Exec:             opts.Exec,
 		Auto:             true,
 		Candidates:       cands,
 		PartitionQuality: rowPreps[best].quality,
@@ -260,7 +283,7 @@ func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, pre
 			continue
 		}
 		prep := preparedFor(preps, ds, opts.Partitioner, spec.C)
-		var cost *distmm.Cost
+		var cost, overlap *distmm.Cost
 		per := make([]int64, world.P)
 		fail := ""
 		// One compile per distinct width (the block/NnzCols structure work
@@ -278,8 +301,10 @@ func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, pre
 				break
 			}
 			one := e.Plan().Cost(world.Params, f.width)
+			oneOvl := e.Plan().CostWith(world.Params, f.width, distmm.ExecOverlap)
 			for i := 0; i < f.count; i++ {
 				cost = cost.Add(one)
+				overlap = overlap.Add(oneOvl)
 			}
 			for i, b := range e.Plan().EpochSentBytes([]int{f.width}) {
 				per[i] += b * int64(f.count)
@@ -291,12 +316,13 @@ func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, pre
 		}
 		maxMB, avgMB := distmm.SentSummaryMB(per)
 		out = append(out, Candidate{
-			Algorithm:    alg,
-			Replication:  spec.C,
-			EpochSeconds: cost.Total(),
-			Breakdown:    cost.Breakdown(),
-			MaxSentMB:    maxMB,
-			AvgSentMB:    avgMB,
+			Algorithm:      alg,
+			Replication:    spec.C,
+			EpochSeconds:   cost.Total(),
+			OverlapSeconds: overlap.Total(),
+			Breakdown:      cost.Breakdown(),
+			MaxSentMB:      maxMB,
+			AvgSentMB:      avgMB,
 		})
 	}
 	return out

@@ -143,8 +143,15 @@ func (r *Rank) World() *World { return r.w }
 // P returns the world size.
 func (r *Rank) P() int { return r.w.P }
 
-// chargeTime credits modeled seconds to this rank in the given phase.
+// chargeTime credits modeled seconds to this rank in the given phase. An
+// empty phase suppresses the charge: self-priced executors (the overlapped
+// plan executor, which settles pipelined max(comm, comp) time in one bulk
+// charge after the collective) pass "" so the inline per-operation charges
+// do not double-count. Volume accounting is never suppressed.
 func (r *Rank) chargeTime(phase string, sec float64) {
+	if phase == "" {
+		return
+	}
 	r.w.Ledger.Add(r.ID, phase, sec)
 }
 

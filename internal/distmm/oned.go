@@ -37,6 +37,14 @@ type Engine interface {
 	// value exactly once: the world for 1D layouts, the process column for
 	// 1.5D grids (each column holds every block row exactly once).
 	GradGroup(rank int) *comm.Group
+	// ExecMode returns the executor the engine currently runs its plan with.
+	ExecMode() ExecMode
+	// SetExecMode selects the executor: ExecSequential (stage by stage) or
+	// ExecOverlap (double-buffered comm/compute pipelining, bit-identical
+	// outputs and volumes, pipelined time accounting). Engine-wide, so every
+	// rank of a collective runs the same mode; must not be called
+	// concurrently with Multiply/MultiplyInto.
+	SetExecMode(m ExecMode)
 }
 
 // checkMultiplyShapes validates the collective-call contract shared by all

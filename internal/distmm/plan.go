@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"sagnn/internal/comm"
 	"sagnn/internal/dense"
@@ -107,6 +108,11 @@ type Plan struct {
 	widths []int
 	fFixed int
 	progs  [][]instr
+	// pipes caches the per-rank pipelined stage decomposition (overlap.go),
+	// derived once from the immutable progs on first overlapped execution or
+	// overlap cost prediction.
+	pipeOnce sync.Once
+	pipes    []pipelineProg
 }
 
 // Name returns the algorithm name the plan was compiled from.
@@ -129,6 +135,28 @@ func (p *Plan) widthOf(rank, f int) int {
 		panic(fmt.Sprintf("distmm: plan %s compiled for dense width %d, asked about %d", p.name, p.fFixed, f))
 	}
 	return p.widths[rank]
+}
+
+// a2aStats computes one all-to-allv instruction's exchange shape at dense
+// width w — packed elements, bytes sent and received, and communicating
+// partners — in the exact aggregation order the executor's accounting uses.
+// Volume prediction and both cost models share it, so the three can never
+// drift on the partner/pack arithmetic.
+func a2aStats(in *instr, w int) (packElems, sendBytes, recvBytes int64, partners int) {
+	for j := range in.sendIdx {
+		packElems += int64(len(in.sendIdx[j]) * w)
+		if j == in.slot {
+			continue
+		}
+		s := int64(len(in.sendIdx[j])*w) * machine.BytesPerElem
+		rv := int64(in.recvRows[j]*w) * machine.BytesPerElem
+		sendBytes += s
+		recvBytes += rv
+		if s > 0 || rv > 0 {
+			partners++
+		}
+	}
+	return packElems, sendBytes, recvBytes, partners
 }
 
 // RankVolume is one rank's exact predicted traffic for a single execution of
@@ -160,20 +188,10 @@ func (p *Plan) Volumes(f int) []RankVolume {
 					v.RecvBytes += nb
 				}
 			case opAllToAllv:
-				var partners int64
-				for j := range in.sendIdx {
-					if j == in.slot {
-						continue
-					}
-					s := int64(len(in.sendIdx[j])*w) * machine.BytesPerElem
-					rv := int64(in.recvRows[j]*w) * machine.BytesPerElem
-					v.SentBytes += s
-					v.RecvBytes += rv
-					if s > 0 || rv > 0 {
-						partners++
-					}
-				}
-				v.MsgsSent += partners
+				_, sendB, recvB, partners := a2aStats(in, w)
+				v.SentBytes += sendB
+				v.RecvBytes += recvB
+				v.MsgsSent += int64(partners)
 			case opSendRows:
 				v.SentBytes += int64(len(in.idx)*w) * machine.BytesPerElem
 				v.MsgsSent++
@@ -239,6 +257,17 @@ func (c *Cost) Add(o *Cost) *Cost {
 	return d
 }
 
+// RankTotal returns one rank's summed seconds across phases — the rank's
+// modeled critical path, the quantity the overlapped executor's pipeline
+// bound is stated in.
+func (c *Cost) RankTotal(rank int) float64 {
+	t := 0.0
+	for _, row := range c.phases {
+		t += row[rank]
+	}
+	return t
+}
+
 // Breakdown returns phase → slowest-rank seconds, the shape of
 // machine.Ledger.Breakdown.
 func (c *Cost) Breakdown() map[string]float64 {
@@ -290,21 +319,7 @@ func (p *Plan) Cost(params machine.Params, f int) *Cost {
 				c.add("bcast", rank, params.BcastTime(nb, in.group.Size()))
 				c.add("local", rank, params.SpMMTime(in.blk.Flops(w)))
 			case opAllToAllv:
-				var packElems, sendB, recvB int64
-				partners := 0
-				for j := range in.sendIdx {
-					packElems += int64(len(in.sendIdx[j]) * w)
-					if j == in.slot {
-						continue
-					}
-					s := int64(len(in.sendIdx[j])*w) * machine.BytesPerElem
-					rv := int64(in.recvRows[j]*w) * machine.BytesPerElem
-					sendB += s
-					recvB += rv
-					if s > 0 || rv > 0 {
-						partners++
-					}
-				}
+				packElems, sendB, recvB, partners := a2aStats(in, w)
 				c.add("local", rank, params.CopyTime(packElems*machine.BytesPerElem))
 				c.add("alltoall", rank, params.AllToAllvTime(sendB, recvB, partners))
 			case opMulOwn:
@@ -447,6 +462,17 @@ type execWS struct {
 	recvPtr  [][]float64 // recvPtr[j] points into recvBufs[j]
 	recvBufs [][]float64
 	hj, zh   dense.Matrix
+
+	// Overlapped-execution state (overlap.go): the background comm worker
+	// and the stage-parity double buffers it lands transfers into, kept
+	// separate from the sequential buffers above so a transfer in flight for
+	// stage s+1 can never touch rows stage s is still multiplying.
+	async        *comm.Async
+	pipeRecv     [2][]float64
+	pipeSend     [2][][]float64
+	pipeSendBufs [2][][]float64
+	pipeRecvPtr  [2][][]float64
+	pipeRecvBufs [2][][]float64
 }
 
 // newExecWS builds the per-rank workspaces for a plan, pre-sizing the
@@ -468,6 +494,12 @@ func newExecWS(p *Plan) []*execWS {
 			w.sendBufs = make([][]float64, a2a)
 			w.recvPtr = make([][]float64, a2a)
 			w.recvBufs = make([][]float64, a2a)
+			for par := 0; par < 2; par++ {
+				w.pipeSend[par] = make([][]float64, a2a)
+				w.pipeSendBufs[par] = make([][]float64, a2a)
+				w.pipeRecvPtr[par] = make([][]float64, a2a)
+				w.pipeRecvBufs[par] = make([][]float64, a2a)
+			}
 		}
 		ws[i] = w
 	}
@@ -558,6 +590,7 @@ func (p *Plan) execute(r *comm.Rank, hLocal, out *dense.Matrix, ws *execWS) {
 type planEngine struct {
 	plan *Plan
 	ws   []*execWS
+	mode ExecMode
 }
 
 func newPlanEngine(p *Plan) *planEngine {
@@ -580,6 +613,13 @@ func (e *planEngine) GradGroup(rank int) *comm.Group { return e.plan.gradGroups[
 // Plan implements Engine: the compiled schedule backing this engine.
 func (e *planEngine) Plan() *Plan { return e.plan }
 
+// ExecMode implements Engine.
+func (e *planEngine) ExecMode() ExecMode { return e.mode }
+
+// SetExecMode implements Engine. Must not be called concurrently with
+// Multiply/MultiplyInto.
+func (e *planEngine) SetExecMode(m ExecMode) { e.mode = m }
+
 // Multiply implements Engine.
 func (e *planEngine) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
 	out := dense.New(e.plan.outRows[r.ID], hLocal.Cols)
@@ -587,9 +627,15 @@ func (e *planEngine) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix 
 	return out
 }
 
-// MultiplyInto implements Engine: one pass of the shared plan executor.
+// MultiplyInto implements Engine: one pass of the executor the engine's
+// ExecMode selects (all ranks share the engine, so all ranks of a collective
+// necessarily run the same mode).
 func (e *planEngine) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
 	checkMultiplyShapes(r.ID, e.plan.outRows[r.ID], hLocal, out)
+	if e.mode == ExecOverlap {
+		e.plan.executeOverlap(r, hLocal, out, e.ws[r.ID])
+		return
+	}
 	e.plan.execute(r, hLocal, out, e.ws[r.ID])
 }
 
@@ -603,6 +649,7 @@ type SpMM2D struct {
 	rows Layout
 	cols Layout
 	ws   []*execWS
+	mode ExecMode
 }
 
 // Name identifies the engine.
@@ -616,6 +663,13 @@ func (e *SpMM2D) ColLayout() Layout { return e.cols }
 
 // Plan returns the compiled schedule backing this kernel.
 func (e *SpMM2D) Plan() *Plan { return e.plan }
+
+// ExecMode returns the kernel's execution mode.
+func (e *SpMM2D) ExecMode() ExecMode { return e.mode }
+
+// SetExecMode selects the executor (sequential or overlapped). Must not be
+// called concurrently with Multiply/MultiplyInto.
+func (e *SpMM2D) SetExecMode(m ExecMode) { e.mode = m }
 
 // Multiply computes Z_ij for this rank given its local H_ij block.
 func (e *SpMM2D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
@@ -634,6 +688,10 @@ func (e *SpMM2D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
 	if out.Rows != wantRows || out.Cols != wantCols {
 		panic(fmt.Sprintf("distmm: rank %d out %dx%d, want %dx%d",
 			r.ID, out.Rows, out.Cols, wantRows, wantCols))
+	}
+	if e.mode == ExecOverlap {
+		e.plan.executeOverlap(r, hLocal, out, e.ws[r.ID])
+		return
 	}
 	e.plan.execute(r, hLocal, out, e.ws[r.ID])
 }

@@ -29,19 +29,32 @@ type EstimateRow struct {
 	// run at this process count.
 	Skipped string
 	// EpochSec / Breakdown are the modeled time of one epoch's distributed
-	// SpMMs under the α–β machine model.
+	// SpMMs under the α–β machine model with the sequential executor.
 	EpochSec  float64
 	Breakdown map[string]float64
+	// OverlapSec is the same epoch under the overlapped executor — per
+	// pipelined stage, max(communication, compute) instead of their sum.
+	// Speedup is EpochSec / OverlapSec, the modeled benefit of pipelining.
+	OverlapSec float64
+	Speedup    float64
 	// PredMaxMB / PredAvgMB are plan-predicted per-rank send volumes for
 	// one epoch.
 	PredMaxMB float64
 	PredAvgMB float64
 	// PredMultiplyBytes / MeasMultiplyBytes compare one multiply at the
-	// feature width: plan-predicted vs measured total send bytes. Match
-	// reports exact equality.
+	// feature width, executed under the requested ExecMode: plan-predicted
+	// vs measured total send bytes. Match reports exact equality.
 	PredMultiplyBytes int64
 	MeasMultiplyBytes int64
 	Match             bool
+	// PredMultSec / MeasMultSec compare the modeled time of that same
+	// multiply against the ledger delta of executing it under the requested
+	// mode; TimeMatch reports agreement within floating-point noise (the
+	// overlapped executor settles exactly its predicted charges, so there it
+	// is equality).
+	PredMultSec float64
+	MeasMultSec float64
+	TimeMatch   bool
 }
 
 // estWidths returns the dense widths of the distributed SpMMs in one epoch
@@ -53,23 +66,26 @@ func estWidths(ds *gen.Dataset) []int {
 }
 
 // measureMultiply executes one collective Multiply at h's width and returns
-// the total bytes sent across ranks.
-func measureMultiply(w *comm.World, e distmm.Engine, h *dense.Matrix) int64 {
+// the total bytes sent across ranks plus the modeled seconds the run
+// charged to the ledger.
+func measureMultiply(w *comm.World, e distmm.Engine, h *dense.Matrix) (int64, float64) {
 	lay := e.Layout()
 	before := w.Stats().TotalSent()
+	l0 := w.Ledger.Snapshot()
 	w.Run(func(r *comm.Rank) {
 		lo, hi := lay.Range(e.BlockOf(r.ID))
 		e.Multiply(r, h.SliceRows(lo, hi).Clone())
 	})
-	return w.Stats().TotalSent() - before
+	return w.Stats().TotalSent() - before, w.Ledger.Snapshot().Sub(l0).Total()
 }
 
 // measure2D executes one collective 2D Multiply and returns the total
-// bytes sent.
-func measure2D(w *comm.World, e *distmm.SpMM2D, h *dense.Matrix) int64 {
+// bytes sent plus the modeled seconds the run charged to the ledger.
+func measure2D(w *comm.World, e *distmm.SpMM2D, h *dense.Matrix) (int64, float64) {
 	rows, cols := e.RowLayout(), e.ColLayout()
 	r := rows.Blocks()
 	before := w.Stats().TotalSent()
+	l0 := w.Ledger.Snapshot()
 	w.Run(func(rk *comm.Rank) {
 		i, j := rk.ID/r, rk.ID%r
 		rlo, rhi := rows.Range(i)
@@ -80,7 +96,7 @@ func measure2D(w *comm.World, e *distmm.SpMM2D, h *dense.Matrix) int64 {
 		}
 		e.Multiply(rk, hij)
 	})
-	return w.Stats().TotalSent() - before
+	return w.Stats().TotalSent() - before, w.Ledger.Snapshot().Sub(l0).Total()
 }
 
 // new2D builds one 2D kernel by name.
@@ -94,8 +110,12 @@ func new2D(w *comm.World, name string, aHat *sparse.CSR, f int) (*distmm.SpMM2D,
 // EstimateTable prices every algorithm candidate for a preset at process
 // count p — the same sweep AlgorithmAuto runs, plus the 2D kernels where P
 // is square — and verifies each prediction by executing exactly one
-// distributed SpMM per feasible candidate.
-func EstimateTable(preset gen.Preset, scaleDiv, p int, seed int64) []EstimateRow {
+// distributed SpMM per feasible candidate under the requested execution
+// mode. Every row carries both the sequential and the overlapped epoch
+// price, so the table shows the modeled pipelining speedup per algorithm;
+// the executed multiply certifies volumes byte-for-byte and modeled time
+// against the mode's own cost model.
+func EstimateTable(preset gen.Preset, scaleDiv, p int, seed int64, mode distmm.ExecMode) []EstimateRow {
 	ds := loadDataset(preset, seed, scaleDiv)
 	n := ds.G.NumVertices()
 	widths := estWidths(ds)
@@ -115,37 +135,61 @@ func EstimateTable(preset gen.Preset, scaleDiv, p int, seed int64) []EstimateRow
 		}
 		w := comm.NewWorld(p, machine.Perlmutter())
 		if spec.TwoD {
-			fill2DRow(&row, w, aHat, h, widths, f0)
+			fill2DRow(&row, w, aHat, h, widths, f0, mode)
 		} else {
 			e, err := distmm.NewEngine(w, spec.Name, spec.C, aHat, distmm.UniformLayout(n, p/spec.C))
 			if err != nil {
 				panic(err)
 			}
-			fillRow(&row, e.Plan(), w.Params, widths, f0)
-			row.MeasMultiplyBytes = measureMultiply(w, e, h)
+			e.SetExecMode(mode)
+			fillRow(&row, e.Plan(), w.Params, widths, f0, mode)
+			row.MeasMultiplyBytes, row.MeasMultSec = measureMultiply(w, e, h)
 		}
 		row.Match = row.MeasMultiplyBytes == row.PredMultiplyBytes
+		row.TimeMatch = timeAgrees(row.PredMultSec, row.MeasMultSec)
 		rows = append(rows, row)
 	}
 	return rows
 }
 
-// fillRow fills a row's modeled epoch figures and the one-multiply
-// prediction at width f0 from a compiled plan.
-func fillRow(row *EstimateRow, pl *distmm.Plan, params machine.Params, widths []int, f0 int) {
+// timeAgrees compares a modeled multiply time against the executed ledger
+// delta: equal within accumulated floating-point rounding (the overlapped
+// executor settles its prediction exactly; the sequential one re-derives the
+// same charges in a slightly different summation order).
+func timeAgrees(pred, meas float64) bool {
+	diff := pred - meas
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := pred
+	if meas > scale {
+		scale = meas
+	}
+	return diff <= 1e-9*scale
+}
+
+// fillRow fills a row's modeled epoch figures (both executors) and the
+// one-multiply prediction at width f0 from a compiled plan.
+func fillRow(row *EstimateRow, pl *distmm.Plan, params machine.Params, widths []int, f0 int, mode distmm.ExecMode) {
 	cost := pl.EpochCost(params, widths)
+	overlap := pl.EpochCostWith(params, widths, distmm.ExecOverlap)
 	row.EpochSec = cost.Total()
 	row.Breakdown = cost.Breakdown()
+	row.OverlapSec = overlap.Total()
+	if row.OverlapSec > 0 {
+		row.Speedup = row.EpochSec / row.OverlapSec
+	}
 	row.PredMaxMB, row.PredAvgMB = distmm.SentSummaryMB(pl.EpochSentBytes(widths))
 	for _, b := range pl.EpochSentBytes([]int{f0}) {
 		row.PredMultiplyBytes += b
 	}
+	row.PredMultSec = pl.CostWith(params, f0, mode).Total()
 }
 
 // fill2DRow prices a 2D kernel — one compile per distinct width, since 2D
 // plans pin the dense width and the block/NnzCols structure work is
 // width-independent — and measures one multiply at the feature width.
-func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matrix, widths []int, f0 int) {
+func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matrix, widths []int, f0 int, mode distmm.ExecMode) {
 	counts := make(map[int]int)
 	order := make([]int, 0, len(widths))
 	for _, f := range widths {
@@ -154,7 +198,7 @@ func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matri
 		}
 		counts[f]++
 	}
-	var cost *distmm.Cost
+	var cost, overlap *distmm.Cost
 	per := make([]int64, w.P)
 	var first *distmm.SpMM2D
 	for _, f := range order {
@@ -167,8 +211,10 @@ func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matri
 			first = e
 		}
 		one := e.Plan().Cost(w.Params, f)
+		oneOvl := e.Plan().CostWith(w.Params, f, distmm.ExecOverlap)
 		for i := 0; i < counts[f]; i++ {
 			cost = cost.Add(one)
+			overlap = overlap.Add(oneOvl)
 		}
 		for i, b := range e.Plan().EpochSentBytes([]int{f}) {
 			per[i] += b * int64(counts[f])
@@ -176,26 +222,35 @@ func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matri
 	}
 	row.EpochSec = cost.Total()
 	row.Breakdown = cost.Breakdown()
+	row.OverlapSec = overlap.Total()
+	if row.OverlapSec > 0 {
+		row.Speedup = row.EpochSec / row.OverlapSec
+	}
 	row.PredMaxMB, row.PredAvgMB = distmm.SentSummaryMB(per)
 	for _, b := range first.Plan().EpochSentBytes([]int{f0}) {
 		row.PredMultiplyBytes += b
 	}
-	row.MeasMultiplyBytes = measure2D(w, first, h)
+	row.PredMultSec = first.Plan().CostWith(w.Params, f0, mode).Total()
+	first.SetExecMode(mode)
+	row.MeasMultiplyBytes, row.MeasMultSec = measure2D(w, first, h)
 }
 
-// PrintEstimateTable renders the predicted-vs-measured table.
+// PrintEstimateTable renders the predicted-vs-measured table: modeled epoch
+// time under both executors (with the pipelining speedup), predicted
+// volumes, and the executed single-multiply certification of bytes and
+// modeled time.
 func PrintEstimateTable(w io.Writer, title string, rows []EstimateRow) {
 	fmt.Fprintln(w, title)
-	fmt.Fprintf(w, "%-22s %2s %12s %10s %10s %14s %14s %6s\n",
-		"algorithm", "c", "epoch(ms)", "max(MB)", "avg(MB)", "pred(B/mult)", "meas(B/mult)", "match")
+	fmt.Fprintf(w, "%-22s %2s %12s %12s %8s %10s %10s %14s %14s %6s %7s\n",
+		"algorithm", "c", "epoch(ms)", "overlap(ms)", "speedup", "max(MB)", "avg(MB)", "pred(B/mult)", "meas(B/mult)", "match", "tmatch")
 	for _, r := range rows {
 		if r.Skipped != "" {
-			fmt.Fprintf(w, "%-22s %2d %12s %10s %10s %14s %14s %6s  (%s)\n",
-				r.Algorithm, r.C, "-", "-", "-", "-", "-", "-", r.Skipped)
+			fmt.Fprintf(w, "%-22s %2d %12s %12s %8s %10s %10s %14s %14s %6s %7s  (%s)\n",
+				r.Algorithm, r.C, "-", "-", "-", "-", "-", "-", "-", "-", "-", r.Skipped)
 			continue
 		}
-		fmt.Fprintf(w, "%-22s %2d %12.3f %10.3f %10.3f %14d %14d %6v\n",
-			r.Algorithm, r.C, r.EpochSec*1e3, r.PredMaxMB, r.PredAvgMB,
-			r.PredMultiplyBytes, r.MeasMultiplyBytes, r.Match)
+		fmt.Fprintf(w, "%-22s %2d %12.3f %12.3f %7.2fx %10.3f %10.3f %14d %14d %6v %7v\n",
+			r.Algorithm, r.C, r.EpochSec*1e3, r.OverlapSec*1e3, r.Speedup, r.PredMaxMB, r.PredAvgMB,
+			r.PredMultiplyBytes, r.MeasMultiplyBytes, r.Match, r.TimeMatch)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"sagnn/internal/distmm"
 	"sagnn/internal/gen"
 )
 
@@ -208,35 +209,46 @@ func TestTable3(t *testing.T) {
 }
 
 func TestEstimateTablePredictionsMatch(t *testing.T) {
-	rows := EstimateTable(gen.RedditSim, testScale, 8, 3)
-	// P=8: 1D ×2 and c=2 ×2 feasible; c=4 and 2D rows skipped.
-	feasible := 0
-	for _, r := range rows {
-		if r.Skipped != "" {
-			continue
+	for _, mode := range []distmm.ExecMode{distmm.ExecSequential, distmm.ExecOverlap} {
+		rows := EstimateTable(gen.RedditSim, testScale, 8, 3, mode)
+		// P=8: 1D ×2 and c=2 ×2 feasible; c=4 and 2D rows skipped.
+		feasible := 0
+		for _, r := range rows {
+			if r.Skipped != "" {
+				continue
+			}
+			feasible++
+			if !r.Match {
+				t.Errorf("%s: %s c=%d: predicted %d bytes per multiply, measured %d",
+					mode, r.Algorithm, r.C, r.PredMultiplyBytes, r.MeasMultiplyBytes)
+			}
+			if !r.TimeMatch {
+				t.Errorf("%s: %s c=%d: predicted %g s per multiply, measured %g",
+					mode, r.Algorithm, r.C, r.PredMultSec, r.MeasMultSec)
+			}
+			if r.EpochSec <= 0 || r.PredMaxMB <= 0 {
+				t.Errorf("unpriced feasible row %+v", r)
+			}
+			if r.OverlapSec <= 0 || r.OverlapSec > r.EpochSec*(1+1e-12) || r.Speedup < 1-1e-12 {
+				t.Errorf("%s c=%d: overlap pricing %g must be positive and ≤ sequential %g",
+					r.Algorithm, r.C, r.OverlapSec, r.EpochSec)
+			}
 		}
-		feasible++
-		if !r.Match {
-			t.Errorf("%s c=%d: predicted %d bytes per multiply, measured %d",
-				r.Algorithm, r.C, r.PredMultiplyBytes, r.MeasMultiplyBytes)
+		if feasible != 4 {
+			t.Fatalf("expected 4 feasible candidates at P=8, got %d", feasible)
 		}
-		if r.EpochSec <= 0 || r.PredMaxMB <= 0 {
-			t.Errorf("unpriced feasible row %+v", r)
+		var buf bytes.Buffer
+		PrintEstimateTable(&buf, "estimate", rows)
+		if buf.Len() == 0 {
+			t.Fatal("empty output")
 		}
-	}
-	if feasible != 4 {
-		t.Fatalf("expected 4 feasible candidates at P=8, got %d", feasible)
-	}
-	var buf bytes.Buffer
-	PrintEstimateTable(&buf, "estimate", rows)
-	if buf.Len() == 0 {
-		t.Fatal("empty output")
-	}
 
-	// On a square P the 2D kernels are priced and verified too.
-	for _, r := range EstimateTable(gen.RedditSim, testScale, 16, 3) {
-		if r.Skipped == "" && !r.Match {
-			t.Errorf("P=16 %s c=%d: predicted %d, measured %d", r.Algorithm, r.C, r.PredMultiplyBytes, r.MeasMultiplyBytes)
+		// On a square P the 2D kernels are priced and verified too.
+		for _, r := range EstimateTable(gen.RedditSim, testScale, 16, 3, mode) {
+			if r.Skipped == "" && (!r.Match || !r.TimeMatch) {
+				t.Errorf("%s: P=16 %s c=%d: bytes %d vs %d, time %g vs %g", mode, r.Algorithm, r.C,
+					r.PredMultiplyBytes, r.MeasMultiplyBytes, r.PredMultSec, r.MeasMultSec)
+			}
 		}
 	}
 }

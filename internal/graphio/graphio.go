@@ -18,6 +18,26 @@ import (
 	"sagnn/internal/sparse"
 )
 
+// maxEntities bounds every size a parser trusts from its input — vertex
+// ids, matrix dimensions, entry counts, feature elements, label counts.
+// Parsers allocate proportionally to these declared sizes, so an unchecked
+// header like "1000000000 1000000000" would commit gigabytes before reading
+// a single entry (and a negative or overflowing one would panic the
+// allocator — bugs the fuzz targets surfaced). 1<<25 is ~1.7× the largest
+// preset's feature matrix and >250× its vertex count.
+const maxEntities = 1 << 25
+
+// checkEntities validates a size declared by an input file.
+func checkEntities(what string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("graphio: negative %s count %d", what, n)
+	}
+	if n > maxEntities {
+		return fmt.Errorf("graphio: %s count %d exceeds the supported maximum %d", what, n, maxEntities)
+	}
+	return nil
+}
+
 // ReadEdgeList parses a whitespace-separated "u v" edge list. Lines
 // starting with '#' or '%' are comments. Vertex count is inferred as
 // max id + 1 unless n > 0 is given.
@@ -47,6 +67,9 @@ func ReadEdgeList(r io.Reader, n int) (*graph.Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graphio: line %d: negative vertex id", line)
+		}
+		if u >= maxEntities || v >= maxEntities {
+			return nil, fmt.Errorf("graphio: line %d: vertex id %d exceeds the supported maximum %d", line, max(u, v), maxEntities)
 		}
 		if u > maxID {
 			maxID = u
@@ -109,6 +132,15 @@ func ReadMatrixMarket(r io.Reader) (*sparse.CSR, error) {
 	}
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("graphio: bad dimensions %dx%d", rows, cols)
+	}
+	if err := checkEntities("row", rows); err != nil {
+		return nil, err
+	}
+	if err := checkEntities("column", cols); err != nil {
+		return nil, err
+	}
+	if err := checkEntities("entry", nnz); err != nil {
+		return nil, err
 	}
 	coords := make([]sparse.Coord, 0, nnz)
 	read := 0
@@ -191,6 +223,9 @@ func ReadFeatures(r io.Reader) (*dense.Matrix, error) {
 	if rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("graphio: bad feature shape %dx%d", rows, cols)
 	}
+	if cols > 0 && rows > maxEntities/cols {
+		return nil, fmt.Errorf("graphio: feature shape %dx%d exceeds the supported maximum of %d elements", rows, cols, maxEntities)
+	}
 	m := dense.New(rows, cols)
 	for i := range m.Data {
 		if _, err := fmt.Fscan(br, &m.Data[i]); err != nil {
@@ -216,6 +251,9 @@ func ReadLabels(r io.Reader) ([]int, error) {
 	var n int
 	if _, err := fmt.Fscan(br, &n); err != nil {
 		return nil, fmt.Errorf("graphio: bad label header: %v", err)
+	}
+	if err := checkEntities("label", n); err != nil {
+		return nil, err
 	}
 	labels := make([]int, n)
 	for i := range labels {

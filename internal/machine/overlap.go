@@ -1,0 +1,51 @@
+package machine
+
+// Pipeline models the time of a double-buffered comm/compute pipeline: the
+// communication of stage s+1 is issued as soon as stage s's data has landed
+// and proceeds concurrently with stage s's local compute, so each stage
+// contributes max(comp_s, comm_{s+1}) to the rank's critical path instead of
+// the bulk-synchronous comp_s + comm_{s+1}.
+//
+// Writing A_s for the instant stage s's compute may begin, the executor's
+// join discipline (await stage s's transfer, issue stage s+1's transfer,
+// compute stage s) gives the exact recurrence
+//
+//	A_0     = comm_0
+//	A_{s+1} = A_s + max(comp_s, comm_{s+1})
+//
+// which Pipeline accounts incrementally as two kinds of charge per stage:
+// the full local compute (phase "local"), and the exposed remainder of the
+// stage's communication max(0, comm_s − comp_{s-1}) — the part the previous
+// stage's compute could not hide — attributed to the communication phase of
+// that stage ("bcast", "alltoall", ...). Summing a rank's charges therefore
+// reproduces A_S exactly, and because both the overlapped executor and the
+// overlap cost predictor emit charges through this one type in the same
+// order, their per-rank, per-phase floats are identical — not merely close.
+type Pipeline struct {
+	prevComp float64
+}
+
+// Stage accounts one pipeline stage: commSec of communication in commPhase
+// (0 for stages that stage no data, e.g. a compute-only prologue) overlapped
+// against the previous stage's compute, plus compSec of local compute. emit
+// receives the resulting charges; zero charges are skipped so the phase sets
+// of predicted and executed ledgers match exactly.
+func (p *Pipeline) Stage(commPhase string, commSec, compSec float64, emit func(phase string, sec float64)) {
+	if exposed := commSec - p.prevComp; exposed > 0 && commPhase != "" {
+		emit(commPhase, exposed)
+	}
+	if compSec != 0 {
+		emit("local", compSec)
+	}
+	p.prevComp = compSec
+}
+
+// Epilogue accounts a non-overlappable trailing operation (the 1.5D
+// partial-sum all-reduce, which depends on every stage's accumulation and so
+// cannot be hidden behind any compute).
+func (p *Pipeline) Epilogue(phase string, sec float64, emit func(phase string, sec float64)) {
+	if sec != 0 && phase != "" {
+		emit(phase, sec)
+	}
+	p.prevComp = 0
+}

@@ -1,0 +1,78 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// FuzzCSRFromEdges drives the CSR constructor with arbitrary edge soups —
+// duplicates, self loops, hubs, empty lists — and checks the structural
+// invariants every SpMM kernel and block extractor assumes: a monotone
+// RowPtr bracketing strictly increasing column indices, agreement between
+// the three storage arrays, and exact round trips through COO form and
+// double transposition.
+func FuzzCSRFromEdges(f *testing.F) {
+	f.Add(uint8(8), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(4), []byte{3, 3, 3, 3, 0, 3, 3, 0})        // self loops + duplicates
+	f.Add(uint8(16), []byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5}) // hub row
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := int(nRaw%64) + 1
+		edges := make([][2]int, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			edges = append(edges, [2]int{int(data[i]) % n, int(data[i+1]) % n})
+		}
+		m := FromEdges(n, edges)
+
+		if m.NumRows != n || m.NumCols != n {
+			t.Fatalf("shape %dx%d, want %dx%d", m.NumRows, m.NumCols, n, n)
+		}
+		if len(m.RowPtr) != n+1 || m.RowPtr[0] != 0 || m.RowPtr[n] != m.NNZ() {
+			t.Fatalf("RowPtr ends %d..%d for nnz %d", m.RowPtr[0], m.RowPtr[n], m.NNZ())
+		}
+		if len(m.ColIdx) != len(m.Val) {
+			t.Fatalf("ColIdx len %d, Val len %d", len(m.ColIdx), len(m.Val))
+		}
+		for r := 0; r < n; r++ {
+			if m.RowPtr[r] > m.RowPtr[r+1] {
+				t.Fatalf("RowPtr not monotone at row %d", r)
+			}
+			for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+				c := m.ColIdx[p]
+				if c < 0 || c >= n {
+					t.Fatalf("row %d: column %d outside [0,%d)", r, c, n)
+				}
+				if p > m.RowPtr[r] && m.ColIdx[p-1] >= c {
+					t.Fatalf("row %d: columns not strictly increasing (%d then %d)", r, m.ColIdx[p-1], c)
+				}
+				if got := m.At(r, c); got != m.Val[p] {
+					t.Fatalf("At(%d,%d)=%v, stored %v", r, c, got, m.Val[p])
+				}
+			}
+		}
+
+		if rt := NewCSR(n, n, m.ToCoords()); !csrEqual(m, rt) {
+			t.Fatal("COO round trip changed the matrix")
+		}
+		if tt := m.Transpose().Transpose(); !csrEqual(m, tt) {
+			t.Fatal("double transpose changed the matrix")
+		}
+	})
+}
+
+// csrEqual compares two CSR matrices structurally and by value.
+func csrEqual(a, b *CSR) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}

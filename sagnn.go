@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 
+	"sagnn/internal/distmm"
 	"sagnn/internal/gcn"
 	"sagnn/internal/gen"
 	"sagnn/internal/partition"
@@ -110,6 +111,24 @@ const AlgorithmAuto Algorithm = "auto"
 const (
 	Oblivious2D     Algorithm = "oblivious-2d"
 	SparsityAware2D Algorithm = "sparsity-aware-2d"
+)
+
+// ExecMode selects how the distributed SpMM engine executes its compiled
+// communication plan; see DistOpts.Exec.
+type ExecMode = distmm.ExecMode
+
+const (
+	// ExecSequential runs each plan stage to completion before the SpMM that
+	// consumes it — the bulk-synchronous default.
+	ExecSequential = distmm.ExecSequential
+	// ExecOverlap pipelines the plan: the next stage's communication is in
+	// flight while the current stage's SpMM runs (CAGNET-style
+	// comm/compute overlap), joined at the plan's true data dependencies.
+	// Training results are bit-identical to ExecSequential — the compute
+	// operations run in the same order on the same staged rows — and the
+	// traffic is byte-identical; only the modeled epoch time changes, to
+	// max(comm, compute) per pipelined stage instead of their sum.
+	ExecOverlap = distmm.ExecOverlap
 )
 
 // TrainConfig configures a one-shot distributed training run via the
