@@ -1,0 +1,291 @@
+// Command serve runs the online-inference HTTP server: it loads (or
+// quickly trains) a model over a dataset preset and answers per-vertex
+// class predictions with micro-batched, cache-fronted, sparsity-aware
+// L-hop gather inference. Models hot-swap through POST /admin/swap without
+// dropping traffic.
+//
+// Server mode:
+//
+//	serve -dataset protein-sim -scalediv 16 -epochs 5 -addr :8080
+//	curl -s localhost:8080/predict -d '{"vertices":[0,1,2]}'
+//	curl -s localhost:8080/metrics
+//	curl -s --data-binary @model.bin localhost:8080/admin/swap
+//
+// Artifact mode (produce a swappable model file and exit):
+//
+//	serve -dataset protein-sim -epochs 10 -seed 9 -save model.bin -train-only
+//
+// Load-generator mode (drive a running server, report QPS and latency):
+//
+//	serve -loadgen -target http://localhost:8080 -clients 64 -duration 10s
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"sagnn"
+	"sagnn/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func main() {
+	// Dataset / model bootstrap.
+	dataset := flag.String("dataset", "protein-sim", "dataset preset")
+	scaleDiv := flag.Int("scalediv", 16, "dataset scale divisor (1 = full size)")
+	seed := flag.Int64("seed", 42, "dataset seed; also the model-init seed unless -mseed is set")
+	modelSeed := flag.Int64("mseed", 0, "model weight-init seed (0 = use -seed); lets swap artifacts differ without changing the dataset")
+	epochs := flag.Int("epochs", 5, "bootstrap training epochs (ignored with -model)")
+	modelPath := flag.String("model", "", "serve this model/checkpoint file instead of training")
+	savePath := flag.String("save", "", "write the served model to this file (swappable artifact)")
+	trainOnly := flag.Bool("train-only", false, "exit after training and -save (no server)")
+
+	// Serving knobs.
+	addr := flag.String("addr", ":8080", "listen address")
+	window := flag.Duration("window", 2*time.Millisecond, "micro-batch collection window (negative disables the wait)")
+	maxBatch := flag.Int("maxbatch", 256, "distinct vertices per inference batch")
+	cacheSize := flag.Int("cache", 4096, "probability-cache capacity (negative disables)")
+	maxReq := flag.Int("maxreq", 1024, "max vertices per request")
+
+	// Load-generator mode.
+	loadgen := flag.Bool("loadgen", false, "run as a load generator against -target")
+	target := flag.String("target", "http://127.0.0.1:8080", "server URL for -loadgen")
+	clients := flag.Int("clients", 32, "concurrent loadgen clients")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen run length")
+	perReq := flag.Int("k", 1, "vertices per loadgen request")
+	hot := flag.Float64("hot", 0, "fraction of loadgen requests drawn from a 64-vertex hot set")
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*target, *clients, *perReq, *hot, *duration, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ds, err := sagnn.LoadDataset(sagnn.Preset(*dataset), *seed, *scaleDiv)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges, f=%d, %d classes\n",
+		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim(), ds.Classes)
+
+	if *modelSeed == 0 {
+		*modelSeed = *seed
+	}
+	model, err := bootstrapModel(ds, *modelPath, *epochs, *modelSeed)
+	if err != nil {
+		fatal(err)
+	}
+	if *savePath != "" {
+		blob, err := model.MarshalBinary()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*savePath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model written to %s (%d bytes)\n", *savePath, len(blob))
+	}
+	if *trainOnly {
+		return
+	}
+
+	srv, err := serve.New(ds, model, serve.Config{
+		BatchWindow:        *window,
+		MaxBatch:           *maxBatch,
+		CacheSize:          *cacheSize,
+		MaxRequestVertices: *maxReq,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving on %s (window %v, maxbatch %d, cache %d)\n", *addr, *window, *maxBatch, *cacheSize)
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("\nshutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+	}
+	srv.Close()
+	snap := srv.Metrics()
+	fmt.Printf("served %d requests (%d failed), %.1f qps, cache hit rate %.2f, %.1f req/batch\n",
+		snap.Requests, snap.Failed, snap.QPS, snap.Cache.HitRate, snap.Batch.AvgRequests)
+}
+
+// bootstrapModel loads a serialized model/checkpoint, or trains one with
+// the serial reference trainer.
+func bootstrapModel(ds *sagnn.Dataset, path string, epochs int, seed int64) (*sagnn.Model, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		model, epoch, err := sagnn.LoadServableModel(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.CompatibleWith(ds); err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded model from %s (checkpoint epoch %d)\n", path, epoch)
+		return model, nil
+	}
+	fmt.Printf("training bootstrap model: %d serial epochs...\n", epochs)
+	res, err := sagnn.RunSerial(ds, epochs, sagnn.ModelConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	last := res.History[len(res.History)-1]
+	fmt.Printf("bootstrap model: loss %.4f, val acc %.3f, test acc %.3f\n",
+		last.Loss, res.ValAcc, res.TestAcc)
+	return res.Model, nil
+}
+
+// runLoadgen drives POST /predict from many concurrent clients and reports
+// throughput and latency quantiles — the harness behind the EXPERIMENTS
+// serving table.
+func runLoadgen(target string, clients, perReq int, hot float64, d time.Duration, seed int64) error {
+	n, err := serverVertices(target)
+	if err != nil {
+		return fmt.Errorf("probing %s: %w", target, err)
+	}
+	fmt.Printf("loadgen: %d clients × %d vertices/request against %s (%d vertices, hot %.2f) for %v\n",
+		clients, perReq, target, n, hot, d)
+	if perReq > n {
+		return fmt.Errorf("request size %d exceeds %d vertices", perReq, n)
+	}
+	type result struct {
+		lat  []time.Duration
+		errs int
+	}
+	deadline := time.Now().Add(d)
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			client := &http.Client{Timeout: 30 * time.Second}
+			verts := make([]int, perReq)
+			for time.Now().Before(deadline) {
+				pickDistinct(rng, verts, n, hot)
+				body, _ := json.Marshal(map[string][]int{"vertices": verts})
+				t0 := time.Now()
+				resp, err := client.Post(target+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					results[c].errs++
+					continue
+				}
+				// Drain before closing so the client reuses the keep-alive
+				// connection instead of dialing per request.
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					results[c].errs++
+					continue
+				}
+				results[c].lat = append(results[c].lat, time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	var all []time.Duration
+	errs := 0
+	for _, r := range results {
+		all = append(all, r.lat...)
+		errs += r.errs
+	}
+	if len(all) == 0 {
+		return errors.New("no successful requests")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	fmt.Printf("requests %d  errors %d  throughput %.1f req/s\n",
+		len(all), errs, float64(len(all))/d.Seconds())
+	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
+		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	return nil
+}
+
+// pickDistinct fills verts with distinct vertex ids; a hot fraction of
+// requests samples from a fixed 64-vertex hot set to exercise the cache.
+func pickDistinct(rng *rand.Rand, verts []int, n int, hot float64) {
+	limit := n
+	if hot > 0 && rng.Float64() < hot {
+		limit = 64
+		if limit > n {
+			limit = n
+		}
+		if limit < len(verts) {
+			limit = n // hot set smaller than the request: fall back to uniform
+		}
+	}
+	for i := range verts {
+		for {
+			v := rng.Intn(limit)
+			dup := false
+			for _, w := range verts[:i] {
+				if w == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				verts[i] = v
+				break
+			}
+		}
+	}
+}
+
+// serverVertices asks /healthz how many vertices the served dataset has.
+func serverVertices(target string) (int, error) {
+	resp, err := http.Get(target + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	if h.Vertices < 1 {
+		return 0, fmt.Errorf("server reports %d vertices", h.Vertices)
+	}
+	return h.Vertices, nil
+}

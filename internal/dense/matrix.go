@@ -349,6 +349,18 @@ func (m *Matrix) PermuteRows(perm []int) *Matrix {
 	return out
 }
 
+// Reshape resizes m to rows×cols, reallocating only when the backing slice
+// is too small — the grow-only buffer discipline of the serving and subset
+// workspaces. Contents are unspecified after a reshape; callers overwrite.
+func Reshape(m *Matrix, rows, cols int) *Matrix {
+	if m == nil || cap(m.Data) < rows*cols {
+		return New(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:rows*cols]
+	return m
+}
+
 // String renders small matrices for debugging.
 func (m *Matrix) String() string {
 	if m.Rows*m.Cols > 400 {

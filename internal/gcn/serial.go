@@ -115,10 +115,18 @@ func (s *Serial) forward() (zs, hs, ps []*dense.Matrix) {
 
 // Predict returns row-wise class probabilities for all vertices.
 func (s *Serial) Predict() *dense.Matrix {
-	_, hs, _ := s.forward()
-	probs := hs[len(hs)-1].Clone()
-	dense.SoftmaxRows(probs)
+	probs := dense.New(s.X.Rows, s.Model.Weights[s.Model.Layers()-1].Cols)
+	s.PredictInto(probs)
 	return probs
+}
+
+// PredictInto writes row-wise class probabilities for all vertices into
+// dst (NumVertices × classes) — the allocation-free serving form of
+// Predict for callers that reuse a probability buffer across calls.
+func (s *Serial) PredictInto(dst *dense.Matrix) {
+	_, hs, _ := s.forward()
+	dst.CopyFrom(hs[len(hs)-1])
+	dense.SoftmaxRows(dst)
 }
 
 // Gradients runs one forward/backward pass and returns (loss, trainAcc,

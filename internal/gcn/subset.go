@@ -1,0 +1,170 @@
+package gcn
+
+import (
+	"fmt"
+	"sort"
+
+	"sagnn/internal/dense"
+	"sagnn/internal/sparse"
+)
+
+// SubsetEval computes class probabilities for a set of target vertices by
+// gathering only the rows their receptive field needs — the serving-side
+// twin of the paper's sparsity-aware communication: instead of "send only
+// the rows NnzCols says a remote rank needs", it is "compute only the rows
+// the L-hop in-neighborhood of the request needs".
+//
+// For targets S the layer-L outputs depend on Â rows S, which depend on
+// activations at the distinct columns of those rows, and so on down to the
+// features: an L-deep chain of frontiers. Each layer multiplies the induced
+// submatrix Â[front_l, front_{l-1}] (monotone relabeling) against the
+// gathered activations. Every kernel in this package accumulates strictly
+// per output row in a fixed column/k order, so the subset rows are
+// bit-identical to the same rows of a full-batch forward pass.
+//
+// A SubsetEval reuses grow-only workspaces across calls and is NOT safe for
+// concurrent use; callers serialize (the public API wraps it in a mutex).
+type SubsetEval struct {
+	A       *sparse.CSR // full GCN-normalized adjacency (global degrees)
+	X       *dense.Matrix
+	Model   *Model
+	Variant Variant
+
+	mark      []bool  // frontier-membership scratch, len n
+	colPos    []int   // Submatrix relabeling scratch, len n, kept at -1
+	frontiers [][]int // frontiers[l] = sorted vertices needed at layer l
+	selfPos   []int   // SAGE: positions of front_l within front_{l-1}
+	sub       *sparse.CSR
+	h0        *dense.Matrix
+	agg, ps   []*dense.Matrix
+	zs, selfs []*dense.Matrix
+	gathered  int
+}
+
+// NewSubsetEval validates shapes and builds the reusable evaluator.
+func NewSubsetEval(a *sparse.CSR, x *dense.Matrix, model *Model, v Variant) *SubsetEval {
+	if a.NumRows != a.NumCols || a.NumRows != x.Rows {
+		panic(fmt.Sprintf("gcn: A %dx%d vs X %d rows", a.NumRows, a.NumCols, x.Rows))
+	}
+	if want := v.InputRows(x.Cols); model.Weights[0].Rows != want {
+		panic(fmt.Sprintf("gcn: W1 expects %d input rows, variant wants %d", model.Weights[0].Rows, want))
+	}
+	n := a.NumRows
+	L := model.Layers()
+	e := &SubsetEval{
+		A: a, X: x, Model: model, Variant: v,
+		mark:      make([]bool, n),
+		colPos:    make([]int, n),
+		frontiers: make([][]int, L+1),
+		sub:       &sparse.CSR{},
+		agg:       make([]*dense.Matrix, L+1),
+		ps:        make([]*dense.Matrix, L+1),
+		zs:        make([]*dense.Matrix, L+1),
+		selfs:     make([]*dense.Matrix, L+1),
+	}
+	for i := range e.colPos {
+		e.colPos[i] = -1
+	}
+	return e
+}
+
+// Classes returns the model's output width.
+func (e *SubsetEval) Classes() int { return e.Model.Weights[e.Model.Layers()-1].Cols }
+
+// GatheredRows reports how many input-feature rows the last
+// ProbabilitiesInto call touched — the size of the L-hop receptive field,
+// the serving analogue of the paper's communication-volume metric.
+func (e *SubsetEval) GatheredRows() int { return e.gathered }
+
+// ProbabilitiesInto writes the class-probability rows of the given targets
+// into dst (len(targets) × Classes). targets must be strictly increasing
+// and within [0, NumVertices); dst row k corresponds to targets[k]. Rows
+// are bit-identical to the same rows of Serial.Predict on the full graph.
+func (e *SubsetEval) ProbabilitiesInto(dst *dense.Matrix, targets []int) {
+	L := e.Model.Layers()
+	n := e.A.NumRows
+	for i, v := range targets {
+		if v < 0 || v >= n || (i > 0 && targets[i-1] >= v) {
+			panic(fmt.Sprintf("gcn: targets not strictly increasing in [0,%d) at %d", n, v))
+		}
+	}
+	if dst.Rows != len(targets) || dst.Cols != e.Classes() {
+		panic(fmt.Sprintf("gcn: subset dst %dx%d, want %dx%d", dst.Rows, dst.Cols, len(targets), e.Classes()))
+	}
+	// Frontier chain: front_L = targets; front_{l-1} = distinct columns of
+	// Â rows front_l. Â carries self loops, so front_l ⊆ front_{l-1}.
+	e.frontiers[L] = append(e.frontiers[L][:0], targets...)
+	for l := L; l >= 1; l-- {
+		e.frontiers[l-1] = e.expand(e.frontiers[l], e.frontiers[l-1])
+	}
+	e.gathered = len(e.frontiers[0])
+
+	// Forward pass over the induced chain, gathering features once.
+	e.h0 = dense.Reshape(e.h0, len(e.frontiers[0]), e.X.Cols)
+	e.X.GatherRowsInto(e.h0.Data, e.frontiers[0])
+	h := e.h0
+	for l := 1; l <= L; l++ {
+		front, prev := e.frontiers[l], e.frontiers[l-1]
+		e.A.SubmatrixInto(e.sub, front, prev, e.colPos)
+		e.agg[l] = dense.Reshape(e.agg[l], len(front), h.Cols)
+		e.sub.SpMMInto(e.agg[l], h)
+		p := e.agg[l]
+		if e.Variant == SAGEConv {
+			e.selfPos = positionsOf(front, prev, e.selfPos)
+			e.selfs[l] = dense.Reshape(e.selfs[l], len(front), h.Cols)
+			h.GatherRowsInto(e.selfs[l].Data, e.selfPos)
+			e.ps[l] = dense.Reshape(e.ps[l], len(front), 2*h.Cols)
+			dense.HStackInto(e.ps[l], e.agg[l], e.selfs[l])
+			p = e.ps[l]
+		}
+		z := dst
+		if l < L {
+			e.zs[l] = dense.Reshape(e.zs[l], len(front), e.Model.Weights[l-1].Cols)
+			z = e.zs[l]
+		}
+		dense.MatMulInto(z, p, e.Model.Weights[l-1])
+		if l < L {
+			z.ReLU()
+			h = z
+		}
+	}
+	dense.SoftmaxRows(dst)
+}
+
+// expand returns the sorted distinct column indices of Â over the rows in
+// front, reusing dst's storage. The mark scratch is restored before return.
+func (e *SubsetEval) expand(front, dst []int) []int {
+	dst = dst[:0]
+	for _, r := range front {
+		for p := e.A.RowPtr[r]; p < e.A.RowPtr[r+1]; p++ {
+			c := e.A.ColIdx[p]
+			if !e.mark[c] {
+				e.mark[c] = true
+				dst = append(dst, c)
+			}
+		}
+	}
+	sort.Ints(dst)
+	for _, c := range dst {
+		e.mark[c] = false
+	}
+	return dst
+}
+
+// positionsOf returns, for each v of sub, its index within super; both must
+// be sorted ascending and sub ⊆ super (guaranteed by Â's self loops).
+func positionsOf(sub, super, dst []int) []int {
+	dst = dst[:0]
+	j := 0
+	for _, v := range sub {
+		for j < len(super) && super[j] < v {
+			j++
+		}
+		if j >= len(super) || super[j] != v {
+			panic(fmt.Sprintf("gcn: vertex %d missing from parent frontier (no self loop?)", v))
+		}
+		dst = append(dst, j)
+		j++
+	}
+	return dst
+}

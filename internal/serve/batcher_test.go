@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoExec returns rows encoding the vertex id, and counts executions and
+// the largest batch seen.
+func echoExec(execs, maxBatch *atomic.Int64) batchExec {
+	return func(vertices []int) ([][]float64, []int, int, uint64, error) {
+		execs.Add(1)
+		for {
+			cur := maxBatch.Load()
+			if int64(len(vertices)) <= cur || maxBatch.CompareAndSwap(cur, int64(len(vertices))) {
+				break
+			}
+		}
+		rows := make([][]float64, len(vertices))
+		classes := make([]int, len(vertices))
+		for i, v := range vertices {
+			rows[i] = []float64{float64(v)}
+			classes[i] = v
+		}
+		return rows, classes, len(vertices), 1, nil
+	}
+}
+
+// TestBatcherCoalescesConcurrentRequests is the core micro-batching claim:
+// many requests inside one window become far fewer inference executions,
+// and every request still receives exactly its own rows.
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	var execs, widest atomic.Int64
+	b := NewBatcher(50*time.Millisecond, 1024, echoExec(&execs, &widest), nil)
+	defer b.Close()
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			verts := []int{c, 1000 + c}
+			rows, classes, gen, err := b.Do(context.Background(), verts)
+			if err == nil && gen != 1 {
+				errs <- fmt.Errorf("client %d: generation %d, want 1", c, gen)
+				return
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, v := range verts {
+				if classes[i] != v || rows[i][0] != float64(v) {
+					errs <- fmt.Errorf("client %d: vertex %d got class %d row %v", c, v, classes[i], rows[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got >= clients/2 {
+		t.Fatalf("%d executions for %d concurrent clients — batching is not coalescing", got, clients)
+	}
+	if widest.Load() < 2 {
+		t.Fatalf("widest batch %d, expected coalesced batches", widest.Load())
+	}
+}
+
+// TestBatcherMaxBatchClosesEarly pins the deadline-vs-size interaction: a
+// full batch must execute immediately, long before a (deliberately huge)
+// window expires.
+func TestBatcherMaxBatchClosesEarly(t *testing.T) {
+	var execs, widest atomic.Int64
+	b := NewBatcher(time.Hour, 4, echoExec(&execs, &widest), nil)
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, _, _, err := b.Do(ctx, []int{c}); err != nil {
+				t.Errorf("client %d: %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if execs.Load() < 2 {
+		t.Fatalf("%d executions — size cap should have split 8 vertices at maxBatch=4", execs.Load())
+	}
+}
+
+// TestBatcherPropagatesExecError delivers the inference error to every
+// coalesced waiter.
+func TestBatcherPropagatesExecError(t *testing.T) {
+	boom := errors.New("boom")
+	b := NewBatcher(20*time.Millisecond, 64, func([]int) ([][]float64, []int, int, uint64, error) {
+		return nil, nil, 0, 0, boom
+	}, nil)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, _, _, err := b.Do(context.Background(), []int{c}); !errors.Is(err, boom) {
+				t.Errorf("client %d: err %v, want boom", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestBatcherContextCancellation: a cancelled submitter gets ctx.Err
+// without wedging the loop for later requests.
+func TestBatcherContextCancellation(t *testing.T) {
+	var execs, widest atomic.Int64
+	b := NewBatcher(5*time.Millisecond, 64, echoExec(&execs, &widest), nil)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := b.Do(ctx, []int{1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if _, classes, _, err := b.Do(context.Background(), []int{3}); err != nil || classes[0] != 3 {
+		t.Fatalf("follow-up request: classes %v err %v", classes, err)
+	}
+}
+
+// TestBatcherCloseFlushesAndRejects: Close answers the in-flight batch
+// (even mid-window) and subsequent submissions fail with ErrClosed.
+func TestBatcherCloseFlushesAndRejects(t *testing.T) {
+	var execs, widest atomic.Int64
+	b := NewBatcher(time.Hour, 1024, echoExec(&execs, &widest), nil)
+	got := make(chan error, 1)
+	go func() {
+		_, classes, _, err := b.Do(context.Background(), []int{5})
+		if err == nil && classes[0] != 5 {
+			err = fmt.Errorf("classes %v", classes)
+		}
+		got <- err
+	}()
+	// Give the unbuffered submit ample time to be accepted into the
+	// collection window (the window itself is an hour), then close.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	b.Close()
+	if waited := time.Since(start); waited > 30*time.Second {
+		t.Fatalf("Close blocked %v on an in-flight window", waited)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("in-flight request after Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never answered after Close")
+	}
+	if _, _, _, err := b.Do(context.Background(), []int{6}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close submit: err %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sagnn"
+)
+
+// benchProblem loads the quickstart dataset (protein-sim) and a
+// quickly-trained model. SAGNN_SCALEDIV shrinks it for smoke runs, matching
+// the other benchmark harnesses.
+func benchProblem(b *testing.B) (*sagnn.Dataset, *sagnn.Model) {
+	b.Helper()
+	scaleDiv := 16
+	if s := os.Getenv("SAGNN_SCALEDIV"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			scaleDiv = v
+		}
+	}
+	ds := sagnn.MustLoadDataset(sagnn.ProteinSim, 42, scaleDiv)
+	res, err := sagnn.RunSerial(ds, 1, sagnn.ModelConfig{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, res.Model
+}
+
+// BenchmarkServeSequential is the baseline the tentpole is measured
+// against: one client, one vertex per request, no cache — every request
+// pays its own L-hop gather inference.
+func BenchmarkServeSequential(b *testing.B) {
+	ds, model := benchProblem(b)
+	srv, err := New(ds, model, Config{BatchWindow: -1, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	n := ds.G.NumVertices()
+	classes := make([]int, 1)
+	probs := make([][]float64, 1)
+	vert := make([]int, 1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vert[0] = i % n
+		if _, err := srv.PredictInto(ctx, vert, classes, probs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeMicroBatched is the tentpole configuration: many concurrent
+// single-vertex clients coalesced by the batch window into shared gather
+// passes (cache still off, so the speedup is pure batching).
+func BenchmarkServeMicroBatched(b *testing.B) {
+	ds, model := benchProblem(b)
+	srv, err := New(ds, model, Config{BatchWindow: 2 * time.Millisecond, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	n := ds.G.NumVertices()
+	var next atomic.Int64
+	ctx := context.Background()
+	// Hundreds of concurrent single-vertex clients: the regime micro-batching
+	// is built for. Batches fill to MaxBatch, so each gather pass (which
+	// saturates toward the full graph on this dense dataset) is amortized
+	// over ~256 requests instead of paid per request.
+	b.SetParallelism(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		classes := make([]int, 1)
+		probs := make([][]float64, 1)
+		vert := make([]int, 1)
+		for pb.Next() {
+			vert[0] = int(next.Add(1)) % n
+			if _, err := srv.PredictInto(ctx, vert, classes, probs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeCacheHit pins the hot path: every vertex cached, so a
+// request is validation + LRU lookups. Allocation-flat by contract.
+func BenchmarkServeCacheHit(b *testing.B) {
+	ds, model := benchProblem(b)
+	srv, err := New(ds, model, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	vertices := []int{1, 17, 33, 65}
+	classes := make([]int, len(vertices))
+	probs := make([][]float64, len(vertices))
+	ctx := context.Background()
+	if _, err := srv.PredictInto(ctx, vertices, classes, probs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.PredictInto(ctx, vertices, classes, probs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -1,0 +1,131 @@
+package serve
+
+import "sync"
+
+// Cache is a fixed-capacity LRU map from vertex id to its class-probability
+// row under one model generation. The server builds a fresh Cache per model
+// state, so a hot swap invalidates every entry wholesale — there is no
+// per-entry versioning to get wrong.
+//
+// Rows are immutable once inserted (the batch executor writes them exactly
+// once, before publication), so Get returns the stored slice without
+// copying: the hit path takes one mutex, touches the recency list, and
+// allocates nothing.
+type Cache struct {
+	mu         sync.Mutex
+	capacity   int
+	m          map[int]*cacheEntry
+	head, tail *cacheEntry // doubly-linked recency list, MRU at head
+}
+
+type cacheEntry struct {
+	vertex     int
+	class      int
+	row        []float64 // immutable after insert
+	prev, next *cacheEntry
+}
+
+// NewCache returns an LRU cache holding up to capacity vertices. A
+// capacity < 1 disables caching: Get always misses and Put is a no-op.
+func NewCache(capacity int) *Cache {
+	c := &Cache{capacity: capacity}
+	if capacity > 0 {
+		c.m = make(map[int]*cacheEntry, capacity)
+	}
+	return c
+}
+
+// Capacity returns the configured entry limit (0 when disabled).
+func (c *Cache) Capacity() int {
+	if c.capacity < 1 {
+		return 0
+	}
+	return c.capacity
+}
+
+// Len returns the number of cached vertices.
+func (c *Cache) Len() int {
+	if c.m == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Get returns the cached probability row and class of a vertex, marking it
+// most-recently used. The returned slice is shared and must be treated as
+// read-only.
+func (c *Cache) Get(v int) ([]float64, int, bool) {
+	if c.m == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[v]
+	if !ok {
+		return nil, 0, false
+	}
+	c.moveToFront(e)
+	return e.row, e.class, true
+}
+
+// Put inserts (or refreshes) a vertex's probability row, evicting the
+// least-recently-used entry when full. The caller must never mutate row
+// after handing it over.
+func (c *Cache) Put(v, class int, row []float64) {
+	if c.m == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[v]; ok {
+		e.class, e.row = class, row
+		c.moveToFront(e)
+		return
+	}
+	if len(c.m) >= c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.vertex)
+	}
+	e := &cacheEntry{vertex: v, class: class, row: row}
+	c.m[v] = e
+	c.pushFront(e)
+}
+
+// unlink removes e from the recency list. Callers hold c.mu.
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the MRU entry. Callers hold c.mu.
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveToFront refreshes e's recency. Callers hold c.mu.
+func (c *Cache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

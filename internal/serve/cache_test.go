@@ -1,0 +1,92 @@
+package serve
+
+import "testing"
+
+func row(v float64) []float64 { return []float64{v, 1 - v} }
+
+// TestCacheLRU pins the eviction policy: capacity respected, Get refreshes
+// recency, least-recently-used goes first.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(3)
+	for v := 0; v < 3; v++ {
+		c.Put(v, v, row(float64(v)))
+	}
+	if c.Len() != 3 || c.Capacity() != 3 {
+		t.Fatalf("len %d cap %d, want 3/3", c.Len(), c.Capacity())
+	}
+	// Touch 0 so 1 becomes LRU, then insert 3: 1 must be evicted.
+	if _, class, ok := c.Get(0); !ok || class != 0 {
+		t.Fatalf("get 0: ok=%v class=%d", ok, class)
+	}
+	c.Put(3, 3, row(0.3))
+	if _, _, ok := c.Get(1); ok {
+		t.Fatal("vertex 1 should have been evicted")
+	}
+	for _, v := range []int{0, 2, 3} {
+		r, class, ok := c.Get(v)
+		if !ok || class != v {
+			t.Fatalf("vertex %d: ok=%v class=%d", v, ok, class)
+		}
+		if len(r) != 2 {
+			t.Fatalf("vertex %d: row %v", v, r)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d after eviction, want 3", c.Len())
+	}
+	// Re-Put refreshes in place without growing.
+	c.Put(0, 9, row(0.9))
+	if _, class, _ := c.Get(0); class != 9 {
+		t.Fatalf("refresh lost: class %d", class)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d after refresh, want 3", c.Len())
+	}
+}
+
+// TestCacheEvictsInsertionOrderWithoutGets covers the pure-FIFO corner of
+// LRU (no Get refreshes) and single-entry capacity edge.
+func TestCacheEvictsInsertionOrderWithoutGets(t *testing.T) {
+	c := NewCache(2)
+	c.Put(10, 0, row(0.1))
+	c.Put(11, 0, row(0.2))
+	c.Put(12, 0, row(0.3))
+	if _, _, ok := c.Get(10); ok {
+		t.Fatal("oldest entry survived")
+	}
+	one := NewCache(1)
+	one.Put(1, 0, row(0.5))
+	one.Put(2, 0, row(0.6))
+	if _, _, ok := one.Get(1); ok {
+		t.Fatal("capacity-1 cache kept two entries")
+	}
+	if _, _, ok := one.Get(2); !ok {
+		t.Fatal("capacity-1 cache lost the newest entry")
+	}
+}
+
+// TestCacheDisabled pins the negative-capacity contract: everything misses,
+// nothing is stored.
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put(1, 1, row(0.5))
+	if _, _, ok := c.Get(1); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 || c.Capacity() != 0 {
+		t.Fatalf("disabled cache len %d cap %d", c.Len(), c.Capacity())
+	}
+}
+
+// TestCacheGetAllocFlat pins the hit path at zero allocations.
+func TestCacheGetAllocFlat(t *testing.T) {
+	c := NewCache(4)
+	c.Put(7, 1, row(0.7))
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := c.Get(7); !ok {
+			t.Fatal("miss")
+		}
+	}); allocs > 0 {
+		t.Fatalf("cache hit allocates %v times, want 0", allocs)
+	}
+}

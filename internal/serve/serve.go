@@ -1,0 +1,395 @@
+// Package serve is the online-inference subsystem: an HTTP JSON server that
+// answers per-vertex class predictions from a trained model over a fixed
+// dataset. It applies the paper's sparsity-aware discipline to serving —
+// a request computes only the rows its L-hop receptive field needs — and
+// stacks three layers of traffic absorption on top:
+//
+//   - a micro-batcher that coalesces concurrent requests arriving within a
+//     latency window into one gathered inference over their union,
+//   - a per-vertex LRU probability cache (fresh per model generation, so a
+//     hot swap invalidates it atomically), and
+//   - lock-free atomic model hot-swap via an admin endpoint, fed by the
+//     session checkpoint format.
+//
+// Endpoints: POST /predict, GET /healthz, GET /metrics, POST /admin/swap.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sagnn"
+)
+
+// Config tunes the serving path. The zero value selects the defaults.
+type Config struct {
+	// BatchWindow is how long the first request of a batch waits for company
+	// before inference runs. Zero (the unset value) selects the 2ms default,
+	// matching the zero-value convention of the other configs; a negative
+	// window disables the wait — batches only coalesce requests already
+	// queued, effectively sequential under a single client.
+	BatchWindow time.Duration
+	// MaxBatch closes a batch early once this many distinct vertices are
+	// pending (default 256).
+	MaxBatch int
+	// CacheSize is the per-vertex probability LRU capacity (default 4096);
+	// negative disables caching.
+	CacheSize int
+	// MaxRequestVertices rejects single requests larger than this
+	// (default 1024).
+	MaxRequestVertices int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxRequestVertices == 0 {
+		c.MaxRequestVertices = 1024
+	}
+	return c
+}
+
+// modelState is one immutable serving generation: the model, its private
+// cache, and its lineage. Swaps publish a whole new state through one
+// atomic pointer, so readers never observe a model paired with another
+// generation's cache.
+type modelState struct {
+	model      *sagnn.Model
+	cache      *Cache
+	generation uint64
+	epoch      int // checkpoint epoch the model came from, -1 for a bare model
+}
+
+// Server serves predictions for one dataset. Safe for concurrent use.
+type Server struct {
+	ds      *sagnn.Dataset
+	classes int
+	cfg     Config
+
+	state   atomic.Pointer[modelState]
+	batcher *Batcher
+	metrics *Metrics
+	mux     *http.ServeMux
+	closed  atomic.Bool
+}
+
+// New builds a server for the model over the dataset and starts its
+// micro-batching loop. Callers must Close it to flush in-flight batches.
+func New(ds *sagnn.Dataset, model *sagnn.Model, cfg Config) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if err := model.CompatibleWith(ds); err != nil {
+		return nil, err
+	}
+	s := &Server{ds: ds, classes: model.Classes(), cfg: cfg.withDefaults(), metrics: NewMetrics()}
+	s.state.Store(&modelState{
+		model:      model,
+		cache:      NewCache(s.cfg.CacheSize),
+		generation: 1,
+		epoch:      -1,
+	})
+	s.batcher = NewBatcher(s.cfg.BatchWindow, s.cfg.MaxBatch, s.execBatch, func(requests, vertices, gathered int) {
+		s.metrics.batches.Add(1)
+		s.metrics.batchRequests.Add(uint64(requests))
+		s.metrics.batchVertices.Add(uint64(vertices))
+		s.metrics.gatherRows.Add(uint64(gathered))
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/admin/swap", s.handleSwap)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree (predict, healthz, metrics, admin).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Generation returns the current model generation (1 at startup, +1 per
+// swap).
+func (s *Server) Generation() uint64 { return s.state.Load().generation }
+
+// Close stops accepting predictions and flushes the in-flight batch.
+// Idempotent.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.batcher.Close()
+}
+
+// execBatch is the batcher's inference callback: one sparsity-aware gather
+// pass over the union of a batch's vertices under the current model state,
+// publishing every row into that state's cache and reporting the state's
+// generation.
+func (s *Server) execBatch(vertices []int) ([][]float64, []int, int, uint64, error) {
+	st := s.state.Load()
+	flat := make([]float64, len(vertices)*s.classes)
+	gathered, err := st.model.ProbabilitiesSubsetInto(flat, s.ds, vertices)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	rows := make([][]float64, len(vertices))
+	classes := make([]int, len(vertices))
+	for i, v := range vertices {
+		rows[i] = flat[i*s.classes : (i+1)*s.classes]
+		classes[i] = argmax(rows[i])
+		st.cache.Put(v, classes[i], rows[i])
+	}
+	return rows, classes, gathered, st.generation, nil
+}
+
+// PredictInto answers one prediction request: classes[i] and probs[i]
+// receive the class and probability row of vertices[i] (probs rows alias
+// cache-owned immutable storage; treat them as read-only). Vertices must be
+// distinct and in range — sagnn.ErrInvalidVertices tags violations so HTTP
+// callers map them to 400. When every vertex hits the cache the call
+// allocates nothing; misses join the current micro-batch.
+//
+// Every response is generation-consistent: all returned rows were computed
+// by the single model generation the call returns. If a hot swap lands
+// mid-request (cache hits from the old state, batch computed by the new
+// one), the request retries against the new state — whose cache the batch
+// just populated — and as a last resort bypasses the cache so one batch
+// computes the whole answer.
+func (s *Server) PredictInto(ctx context.Context, vertices []int, classes []int, probs [][]float64) (uint64, error) {
+	start := time.Now()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if len(vertices) == 0 {
+		s.metrics.failed.Add(1)
+		return 0, fmt.Errorf("serve: %w: empty vertex set", sagnn.ErrInvalidVertices)
+	}
+	if len(vertices) > s.cfg.MaxRequestVertices {
+		s.metrics.failed.Add(1)
+		return 0, fmt.Errorf("serve: %w: %d vertices exceeds per-request limit %d",
+			sagnn.ErrInvalidVertices, len(vertices), s.cfg.MaxRequestVertices)
+	}
+	if err := sagnn.ValidateVertices(s.ds.G.NumVertices(), vertices); err != nil {
+		s.metrics.failed.Add(1)
+		return 0, err
+	}
+	if len(classes) != len(vertices) || len(probs) != len(vertices) {
+		s.metrics.failed.Add(1)
+		return 0, fmt.Errorf("serve: output slices hold %d/%d entries for %d vertices",
+			len(classes), len(probs), len(vertices))
+	}
+	const maxAttempts = 3
+	for attempt := 0; ; attempt++ {
+		st := s.state.Load()
+		bypassCache := attempt == maxAttempts-1
+		var misses, missIdx []int
+		hits := 0
+		for i, v := range vertices {
+			if !bypassCache {
+				if row, class, ok := st.cache.Get(v); ok {
+					probs[i], classes[i] = row, class
+					hits++
+					continue
+				}
+			}
+			misses = append(misses, v)
+			missIdx = append(missIdx, i)
+		}
+		if len(misses) == 0 {
+			// Pure cache hits are trivially consistent with st.
+			s.finishRequest(start, len(vertices), hits, 0)
+			return st.generation, nil
+		}
+		rows, cls, gen, err := s.batcher.Do(ctx, misses)
+		if err != nil {
+			s.metrics.failed.Add(1)
+			return 0, err
+		}
+		if gen != st.generation && !bypassCache {
+			// A swap raced this request: the hits came from st, the batch
+			// from a newer state. Retry against the new state — the batch's
+			// rows are already in its cache, so the redo is cheap.
+			continue
+		}
+		for j, i := range missIdx {
+			probs[i], classes[i] = rows[j], cls[j]
+		}
+		s.finishRequest(start, len(vertices), hits, len(misses))
+		return gen, nil
+	}
+}
+
+// finishRequest records the counters of one successfully-answered request.
+func (s *Server) finishRequest(start time.Time, vertices, hits, misses int) {
+	s.metrics.cacheHits.Add(uint64(hits))
+	s.metrics.cacheMisses.Add(uint64(misses))
+	s.metrics.requests.Add(1)
+	s.metrics.vertices.Add(uint64(vertices))
+	s.metrics.observeLatency(time.Since(start))
+}
+
+// Swap atomically replaces the serving model with a validated replacement,
+// installing a fresh (empty) cache for the new generation. epoch records
+// the checkpoint lineage (-1 for a bare model).
+func (s *Server) Swap(model *sagnn.Model, epoch int) (uint64, error) {
+	if model == nil {
+		return 0, fmt.Errorf("serve: nil model")
+	}
+	if err := model.CompatibleWith(s.ds); err != nil {
+		return 0, err
+	}
+	if got, want := model.Classes(), s.classes; got != want {
+		return 0, fmt.Errorf("serve: model scores %d classes, server expects %d", got, want)
+	}
+	for {
+		old := s.state.Load()
+		next := &modelState{
+			model:      model,
+			cache:      NewCache(s.cfg.CacheSize),
+			generation: old.generation + 1,
+			epoch:      epoch,
+		}
+		if s.state.CompareAndSwap(old, next) {
+			s.metrics.swaps.Add(1)
+			return next.generation, nil
+		}
+	}
+}
+
+// SwapBytes parses a serialized model or checkpoint and hot-swaps it in.
+func (s *Server) SwapBytes(data []byte) (generation uint64, epoch int, err error) {
+	model, epoch, err := sagnn.LoadServableModel(data)
+	if err != nil {
+		return 0, 0, err
+	}
+	gen, err := s.Swap(model, epoch)
+	return gen, epoch, err
+}
+
+// Metrics returns the current metrics snapshot.
+func (s *Server) Metrics() Snapshot {
+	st := s.state.Load()
+	return s.metrics.snapshot(st.cache.Len(), st.cache.Capacity(), st.generation, st.epoch, s.ds.G.NumVertices())
+}
+
+// predictRequest is the /predict body.
+type predictRequest struct {
+	Vertices []int `json:"vertices"`
+}
+
+// predictResponse is the /predict reply: one class and probability row per
+// requested vertex, in request order, plus the serving generation.
+type predictResponse struct {
+	Generation uint64      `json:"generation"`
+	Classes    []int       `json:"classes"`
+	Probs      [][]float64 `json:"probs"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req predictRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.metrics.failed.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	classes := make([]int, len(req.Vertices))
+	probs := make([][]float64, len(req.Vertices))
+	gen, err := s.PredictInto(r.Context(), req.Vertices, classes, probs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Generation: gen, Classes: classes, Probs: probs})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() {
+		status, code = "shutting down", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"generation": st.generation,
+		"dataset":    s.ds.Name,
+		"vertices":   s.ds.G.NumVertices(),
+		"classes":    s.classes,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading model: %w", err))
+		return
+	}
+	gen, epoch, err := s.SwapBytes(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "epoch": epoch})
+}
+
+// statusFor maps serving errors to HTTP statuses: request-shape problems
+// are the client's (400), shutdown is unavailability (503), anything else
+// is internal (500).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, sagnn.ErrInvalidVertices):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// argmax returns the index of the largest element.
+func argmax(row []float64) int {
+	best, bestv := 0, row[0]
+	for j, p := range row {
+		if p > bestv {
+			best, bestv = j, p
+		}
+	}
+	return best
+}

@@ -236,6 +236,87 @@ func (m *CSR) NnzColsInRange(cr ColRange) []int {
 	return out
 }
 
+// Submatrix returns the induced submatrix m[rows, cols] as a standalone
+// len(rows)×len(cols) CSR. Both index lists must be strictly increasing and
+// in range, and cols must cover every stored column of the selected rows —
+// the caller supplies exactly the receptive field, as an L-hop frontier
+// expansion produces it. Because both lists are monotone, every selected
+// row keeps its nonzeros in the original order with the original values,
+// which is what makes subset inference bit-identical to full-batch
+// inference row by row.
+//
+// colPos, when non-nil, must be a scratch slice of length ≥ NumCols filled
+// with -1; it is used and restored before returning, so callers can
+// amortise the O(NumCols) map across many calls. A nil colPos allocates a
+// fresh scratch.
+func (m *CSR) Submatrix(rows, cols []int, colPos []int) *CSR {
+	out := &CSR{}
+	m.SubmatrixInto(out, rows, cols, colPos)
+	return out
+}
+
+// SubmatrixInto is Submatrix writing into a reusable destination: dst's
+// slices are grown once and reused across calls, so steady-state extraction
+// of same-sized receptive fields allocates nothing.
+func (m *CSR) SubmatrixInto(dst *CSR, rows, cols []int, colPos []int) {
+	if colPos == nil {
+		colPos = make([]int, m.NumCols)
+		for i := range colPos {
+			colPos[i] = -1
+		}
+	}
+	for i, c := range cols {
+		if c < 0 || c >= m.NumCols || (i > 0 && cols[i-1] >= c) {
+			panic(fmt.Sprintf("sparse: Submatrix cols not strictly increasing in [0,%d) at %d", m.NumCols, c))
+		}
+		colPos[c] = i
+	}
+	nnz := 0
+	for i, r := range rows {
+		if r < 0 || r >= m.NumRows || (i > 0 && rows[i-1] >= r) {
+			panic(fmt.Sprintf("sparse: Submatrix rows not strictly increasing in [0,%d) at %d", m.NumRows, r))
+		}
+		nnz += m.RowNNZ(r)
+	}
+	dst.NumRows, dst.NumCols = len(rows), len(cols)
+	dst.RowPtr = growInts(dst.RowPtr, len(rows)+1)
+	dst.ColIdx = growInts(dst.ColIdx, nnz)
+	dst.Val = growFloats(dst.Val, nnz)
+	q := 0
+	dst.RowPtr[0] = 0
+	for i, r := range rows {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			nc := colPos[m.ColIdx[p]]
+			if nc < 0 {
+				panic(fmt.Sprintf("sparse: Submatrix row %d has column %d outside cols", r, m.ColIdx[p]))
+			}
+			dst.ColIdx[q] = nc
+			dst.Val[q] = m.Val[p]
+			q++
+		}
+		dst.RowPtr[i+1] = q
+	}
+	for _, c := range cols {
+		colPos[c] = -1
+	}
+}
+
+// growInts resizes s to length n, reallocating only when capacity is short.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats resizes s to length n, reallocating only when capacity is short.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // ExtractBlock returns the submatrix of rows [rows.Lo, rows.Hi) and columns
 // [cols.Lo, cols.Hi) as a standalone CSR with rebased indices.
 func (m *CSR) ExtractBlock(rows, cols ColRange) *CSR {

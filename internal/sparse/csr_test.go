@@ -3,6 +3,7 @@ package sparse
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -266,5 +267,77 @@ func BenchmarkSpMM(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.SpMM(h)
+	}
+}
+
+// TestSubmatrixInduced checks Submatrix against ExtractBlock-style manual
+// extraction: values, order, and the colPos-scratch restore contract.
+func TestSubmatrixInduced(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewRandom(rng, 40, 0.2)
+	rows := []int{1, 5, 6, 19, 33}
+	// cols must cover every stored column of the selected rows.
+	seen := map[int]bool{}
+	for _, r := range rows {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			seen[m.ColIdx[p]] = true
+		}
+	}
+	seen[2] = true // a column no selected row uses is fine too
+	cols := make([]int, 0, len(seen))
+	for c := range seen {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	colPos := make([]int, m.NumCols)
+	for i := range colPos {
+		colPos[i] = -1
+	}
+	sub := m.Submatrix(rows, cols, colPos)
+	if sub.NumRows != len(rows) || sub.NumCols != len(cols) {
+		t.Fatalf("submatrix %dx%d, want %dx%d", sub.NumRows, sub.NumCols, len(rows), len(cols))
+	}
+	for i, r := range rows {
+		for j, c := range cols {
+			if got, want := sub.At(i, j), m.At(r, c); got != want {
+				t.Fatalf("sub(%d,%d)=%v, m(%d,%d)=%v", i, j, got, r, c, want)
+			}
+		}
+	}
+	for i, v := range colPos {
+		if v != -1 {
+			t.Fatalf("colPos[%d]=%d not restored to -1", i, v)
+		}
+	}
+	// Reused destination: same result, no fresh slices needed on second call.
+	dst := &CSR{}
+	m.SubmatrixInto(dst, rows, cols, colPos)
+	if allocs := testing.AllocsPerRun(10, func() { m.SubmatrixInto(dst, rows, cols, colPos) }); allocs > 0 {
+		t.Fatalf("warm SubmatrixInto allocates %v times, want 0", allocs)
+	}
+}
+
+// TestSubmatrixPanics pins the misuse contract: unsorted index lists and
+// uncovered columns are construction bugs, not recoverable errors.
+func TestSubmatrixPanics(t *testing.T) {
+	m := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	cases := []struct {
+		name       string
+		rows, cols []int
+	}{
+		{"unsorted rows", []int{2, 1}, []int{0, 1, 2, 3}},
+		{"duplicate cols", []int{1}, []int{1, 1}},
+		{"uncovered column", []int{1}, []int{1}},
+		{"row out of range", []int{4}, []int{0}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			m.Submatrix(tc.rows, tc.cols, nil)
+		}()
 	}
 }

@@ -1,20 +1,73 @@
 package sagnn
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"sagnn/internal/dense"
 	"sagnn/internal/gcn"
+	"sagnn/internal/sparse"
 )
+
+// ErrInvalidVertices tags every vertex-set validation failure on the
+// prediction paths — out-of-range ids, duplicates where a set is required,
+// or empty requests. Servers match it with errors.Is to map bad requests to
+// client errors (HTTP 400) instead of internal ones.
+var ErrInvalidVertices = errors.New("invalid vertices")
+
+// ValidateVertices checks that a prediction request names only vertices in
+// [0, n) and never names one twice, returning an ErrInvalidVertices-tagged
+// error otherwise. Small requests are checked allocation-free.
+func ValidateVertices(n int, vertices []int) error {
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return fmt.Errorf("sagnn: %w: vertex %d outside [0,%d)", ErrInvalidVertices, v, n)
+		}
+	}
+	if len(vertices) <= 32 {
+		for i, v := range vertices {
+			for _, w := range vertices[:i] {
+				if v == w {
+					return fmt.Errorf("sagnn: %w: duplicate vertex %d", ErrInvalidVertices, v)
+				}
+			}
+		}
+		return nil
+	}
+	seen := make(map[int]struct{}, len(vertices))
+	for _, v := range vertices {
+		if _, ok := seen[v]; ok {
+			return fmt.Errorf("sagnn: %w: duplicate vertex %d", ErrInvalidVertices, v)
+		}
+		seen[v] = struct{}{}
+	}
+	return nil
+}
 
 // Model is a trained GCN parameter set, detached from the session that
 // produced it. Weights are permutation-invariant, so a model trained on a
 // partitioned (permuted) graph predicts directly on the original dataset
 // order. Models serialize with MarshalBinary / LoadModel.
+//
+// A Model is safe for concurrent use: every predict path serializes on an
+// internal mutex around a lazily-built, reusable inference workspace (the
+// normalized adjacency, full-batch forward buffers, and the sparsity-aware
+// subset-gather state). The workspace is keyed on the dataset — predicting
+// on a different dataset rebuilds it — so the steady-state serving hot path
+// allocates nothing.
 type Model struct {
 	m    *gcn.Model
 	sage bool
+
+	mu     sync.Mutex
+	infDS  *Dataset        // dataset the cached workspaces are built for
+	aHat   *sparse.CSR     // cached GCN-normalized adjacency of infDS
+	eval   *gcn.Serial     // full-batch forward workspace
+	sub    *gcn.SubsetEval // L-hop subset-gather workspace
+	probs  *dense.Matrix   // full-batch probability buffer
+	subBuf *dense.Matrix   // subset probability buffer (sorted order)
+	sorted []int           // sorted-request scratch for the subset path
 }
 
 // Layers returns the number of GCN layers.
@@ -46,27 +99,93 @@ func (m *Model) checkDataset(ds *Dataset) error {
 	return nil
 }
 
-// probabilities runs full-batch inference over the whole dataset and
-// returns row-wise class probabilities.
-func (m *Model) probabilities(ds *Dataset) (p *dense.Matrix, err error) {
+// CompatibleWith reports whether the model can serve the dataset (feature
+// width matches the first layer). Servers call it before hot-swapping a
+// freshly-loaded checkpoint into the serving path.
+func (m *Model) CompatibleWith(ds *Dataset) error { return m.checkDataset(ds) }
+
+// Classes returns the model's output width (number of classes scored).
+func (m *Model) Classes() int { return m.m.Weights[m.m.Layers()-1].Cols }
+
+// ensureInference (re)builds the cached inference state for ds. Callers
+// hold m.mu.
+func (m *Model) ensureInference(ds *Dataset) error {
 	if err := m.checkDataset(ds); err != nil {
+		return err
+	}
+	if m.infDS != ds {
+		m.infDS = ds
+		m.aHat = ds.G.NormalizedAdjacency()
+		m.eval = nil
+		m.sub = nil
+	}
+	return nil
+}
+
+// fullEval returns the lazily-built full-batch forward workspace. Callers
+// hold m.mu and have run ensureInference.
+func (m *Model) fullEval() *gcn.Serial {
+	if m.eval == nil {
+		m.eval = gcn.NewSerial(m.aHat, m.infDS.Features, m.infDS.Labels, m.infDS.Train, m.m, 0)
+		m.eval.Variant = m.variant()
+	}
+	return m.eval
+}
+
+// subsetEval returns the lazily-built L-hop gather workspace. Callers hold
+// m.mu and have run ensureInference.
+func (m *Model) subsetEval() *gcn.SubsetEval {
+	if m.sub == nil {
+		m.sub = gcn.NewSubsetEval(m.aHat, m.infDS.Features, m.m, m.variant())
+	}
+	return m.sub
+}
+
+// probabilities runs full-batch inference over the whole dataset and
+// returns row-wise class probabilities (a fresh matrix the caller owns).
+func (m *Model) probabilities(ds *Dataset) (p *dense.Matrix, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.ensureInference(ds); err != nil {
 		return nil, err
 	}
 	defer recoverToError(&err)
-	eval := gcn.NewSerial(ds.G.NormalizedAdjacency(), ds.Features, ds.Labels, ds.Train, m.m, 0)
-	eval.Variant = m.variant()
-	return eval.Predict(), nil
+	return m.fullEval().Predict(), nil
 }
 
 // Predict returns the predicted class of each requested vertex on the
 // given dataset (full-batch inference; no training state is touched). A nil
 // vertices slice predicts every vertex.
 func (m *Model) Predict(ds *Dataset, vertices []int) ([]int, error) {
-	probs, err := m.probabilities(ds)
-	if err != nil {
+	if err := m.checkDataset(ds); err != nil {
 		return nil, err
 	}
-	return argmaxRows(probs, vertices)
+	count := len(vertices)
+	if vertices == nil {
+		count = ds.G.NumVertices()
+	}
+	out := make([]int, count)
+	if err := m.PredictInto(out, ds, vertices); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictInto is Predict writing the classes into a caller-supplied slice
+// (len(vertices), or NumVertices for a nil slice) and reusing the model's
+// inference workspace: after the first call on a dataset, the steady-state
+// path is allocation-free.
+func (m *Model) PredictInto(dst []int, ds *Dataset, vertices []int) (err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.ensureInference(ds); err != nil {
+		return err
+	}
+	defer recoverToError(&err)
+	ev := m.fullEval()
+	m.probs = dense.Reshape(m.probs, ds.G.NumVertices(), m.Classes())
+	ev.PredictInto(m.probs)
+	return argmaxRowsInto(dst, m.probs, vertices)
 }
 
 // MarshalBinary serialises the model.
@@ -106,29 +225,57 @@ func expandVertices(n int, vertices []int) ([]int, error) {
 	}
 	for _, v := range vertices {
 		if v < 0 || v >= n {
-			return nil, fmt.Errorf("sagnn: vertex %d outside [0,%d)", v, n)
+			return nil, fmt.Errorf("sagnn: %w: vertex %d outside [0,%d)", ErrInvalidVertices, v, n)
 		}
 	}
 	return vertices, nil
 }
 
+// argmaxRow returns the index of the largest element.
+func argmaxRow(row []float64) int {
+	best, bestv := 0, row[0]
+	for j, p := range row {
+		if p > bestv {
+			best, bestv = j, p
+		}
+	}
+	return best
+}
+
+// argmaxRowsInto maps each requested vertex to its argmax class, writing
+// into dst without allocating. nil vertices selects every row of probs.
+func argmaxRowsInto(dst []int, probs *dense.Matrix, vertices []int) error {
+	if vertices == nil {
+		if len(dst) != probs.Rows {
+			return fmt.Errorf("sagnn: dst len %d for %d vertices", len(dst), probs.Rows)
+		}
+		for i := 0; i < probs.Rows; i++ {
+			dst[i] = argmaxRow(probs.Row(i))
+		}
+		return nil
+	}
+	if len(dst) != len(vertices) {
+		return fmt.Errorf("sagnn: dst len %d for %d vertices", len(dst), len(vertices))
+	}
+	for i, v := range vertices {
+		if v < 0 || v >= probs.Rows {
+			return fmt.Errorf("sagnn: %w: vertex %d outside [0,%d)", ErrInvalidVertices, v, probs.Rows)
+		}
+		dst[i] = argmaxRow(probs.Row(v))
+	}
+	return nil
+}
+
 // argmaxRows maps each requested vertex to its argmax class. nil vertices
 // selects all rows.
 func argmaxRows(probs *dense.Matrix, vertices []int) ([]int, error) {
-	vertices, err := expandVertices(probs.Rows, vertices)
-	if err != nil {
-		return nil, err
+	count := len(vertices)
+	if vertices == nil {
+		count = probs.Rows
 	}
-	out := make([]int, len(vertices))
-	for i, v := range vertices {
-		row := probs.Row(v)
-		best, bestv := 0, row[0]
-		for j, p := range row {
-			if p > bestv {
-				best, bestv = j, p
-			}
-		}
-		out[i] = best
+	out := make([]int, count)
+	if err := argmaxRowsInto(out, probs, vertices); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -182,6 +329,18 @@ func (p *Predictor) Predict(vertices []int) ([]int, error) {
 		return nil, err
 	}
 	return argmaxRows(probs, vertices)
+}
+
+// PredictInto is Predict writing into a caller-supplied slice
+// (len(vertices), or NumVertices for a nil slice). After the first query
+// has populated the probability table, the call is a pure lookup and
+// allocates nothing — the serving hot path.
+func (p *Predictor) PredictInto(dst []int, vertices []int) error {
+	probs, err := p.ensureProbs()
+	if err != nil {
+		return err
+	}
+	return argmaxRowsInto(dst, probs, vertices)
 }
 
 // Probabilities returns each requested vertex's class-probability row

@@ -28,6 +28,12 @@
 // sessions; sessions expose Step, epoch callbacks, context cancellation,
 // and Snapshot/Restore checkpointing. The legacy one-shot Train entry
 // point remains as a compatibility wrapper over the same path.
+//
+// On the serving side, the same sparsity-aware discipline answers online
+// queries: Model.PredictSubset and ProbabilitiesSubsetInto compute a
+// request's probabilities by gathering only its L-hop receptive field,
+// bit-identical to full-batch Predict, and internal/serve + cmd/serve wrap
+// that path in a micro-batching, cache-fronted, hot-swappable HTTP server.
 package sagnn
 
 import (

@@ -382,3 +382,25 @@ func LoadCheckpoint(data []byte) (*Checkpoint, error) {
 	}
 	return &Checkpoint{epoch: epoch, sage: sage, model: model}, nil
 }
+
+// LoadServableModel parses either a serialized Model (MarshalBinary) or a
+// serialized Checkpoint and returns the contained model, plus the
+// checkpoint's epoch (-1 for a bare model). This is the one entry point a
+// serving hot-swap endpoint needs: operators can POST whichever artifact
+// their training pipeline produced. The two formats are distinguished by
+// the checkpoint magic, which cannot collide with a model record's leading
+// SAGE flag byte.
+func LoadServableModel(data []byte) (*Model, int, error) {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data[:4]) == checkpointMagic {
+		ck, err := LoadCheckpoint(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ck.Model(), ck.Epoch(), nil
+	}
+	m, err := LoadModel(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, -1, nil
+}

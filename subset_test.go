@@ -1,0 +1,263 @@
+package sagnn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sagnn/internal/gcn"
+	"sagnn/internal/gen"
+	"sagnn/internal/graph"
+)
+
+// subsetTestDataset builds a Dataset around an arbitrary graph with
+// label-correlated features, the substrate for the subset conformance runs.
+func subsetTestDataset(g *graph.Graph, f, classes int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	labels := gen.RandomLabels(rng, n, classes)
+	feats := gen.Features(rng, labels, classes, f, 0.5)
+	train, val, test := gen.Splits(rng, n, 0.2, 0.2)
+	return &Dataset{Name: "subset-test", G: g, Features: feats, Labels: labels,
+		Classes: classes, Train: train, Val: val, Test: test}
+}
+
+// starG returns a hub-and-spokes graph — the extreme where one vertex's
+// 1-hop receptive field is the whole graph.
+func starG(n int) *graph.Graph {
+	edges := make([][2]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{0, v})
+	}
+	return graph.FromEdges(n, edges).Symmetrize()
+}
+
+// subsetConformanceGraphs mirrors the engine-conformance matrix on the
+// serving side: ER (uniform), SBM (clustered), star (hub extreme).
+func subsetConformanceGraphs(n int) map[string]*graph.Graph {
+	sbm, _ := gen.SBM(n, 4, 8, 2, 17)
+	return map[string]*graph.Graph{
+		"er":   gen.ErdosRenyi(n, 6, 13),
+		"sbm":  sbm,
+		"star": starG(n),
+	}
+}
+
+// TestPredictSubsetBitIdenticalToFullBatch is the serving conformance
+// matrix: across ER/SBM/star graphs, GCN and SAGE variants, and model
+// depths L ∈ {1,2,3}, PredictSubset and ProbabilitiesSubset must equal the
+// full-batch Predict/Probabilities bit for bit — no tolerance — on single
+// targets, random subsets in random order, and the all-vertices request.
+func TestPredictSubsetBitIdenticalToFullBatch(t *testing.T) {
+	const n = 96
+	rng := rand.New(rand.NewSource(4))
+	for name, g := range subsetConformanceGraphs(n) {
+		for _, sage := range []bool{false, true} {
+			for layers := 1; layers <= 3; layers++ {
+				ds := subsetTestDataset(g, 10, 5, 23)
+				variant := gcn.GCNConv
+				if sage {
+					variant = gcn.SAGEConv
+				}
+				dims := gcn.LayerDims(ds.FeatureDim(), 8, ds.Classes, layers)
+				model := &Model{m: gcn.NewModelVariant(31, dims, variant), sage: sage}
+
+				fullClasses, err := model.Predict(ds, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pred, err := NewPredictor(model, ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fullProbs, err := pred.Probabilities(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				sets := [][]int{
+					{0},
+					{n - 1},
+					{7, 3, 55}, // unsorted on purpose: results align to request order
+					rng.Perm(n)[: 1+rng.Intn(n-1) : n],
+					nil, // every vertex
+				}
+				for _, vertices := range sets {
+					gotProbs, err := model.ProbabilitiesSubset(ds, vertices)
+					if err != nil {
+						t.Fatalf("%s sage=%v L=%d: %v", name, sage, layers, err)
+					}
+					gotClasses, err := model.PredictSubset(ds, vertices)
+					if err != nil {
+						t.Fatal(err)
+					}
+					resolve := func(i int) int {
+						if vertices == nil {
+							return i
+						}
+						return vertices[i]
+					}
+					for i := range gotProbs {
+						v := resolve(i)
+						for j, p := range gotProbs[i] {
+							if p != fullProbs[v][j] {
+								t.Fatalf("%s sage=%v L=%d vertex %d class %d: subset %v != full %v",
+									name, sage, layers, v, j, p, fullProbs[v][j])
+							}
+						}
+						if gotClasses[i] != fullClasses[v] {
+							t.Fatalf("%s sage=%v L=%d vertex %d: class %d != %d",
+								name, sage, layers, v, gotClasses[i], fullClasses[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictSubsetAfterTraining runs the same bit-identity check on a
+// model that actually trained, closing the loop from session to serving.
+func TestPredictSubsetAfterTraining(t *testing.T) {
+	g, comms := gen.SBM(128, 4, 10, 2, 5)
+	ds := subsetTestDataset(g, 12, 4, 9)
+	copy(ds.Labels, comms)
+	res, err := RunSerial(ds, 5, ModelConfig{Hidden: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := res.Model.Predict(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := res.Model.PredictSubset(ds, []int{0, 11, 64, 127})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []int{0, 11, 64, 127} {
+		if subset[i] != full[v] {
+			t.Fatalf("vertex %d: subset class %d != full %d", v, subset[i], full[v])
+		}
+	}
+}
+
+// TestSubsetValidation pins the request-validation contract: out-of-range
+// and duplicate vertices fail with ErrInvalidVertices (so servers can map
+// them to HTTP 400), never panic.
+func TestSubsetValidation(t *testing.T) {
+	ds := subsetTestDataset(gen.ErdosRenyi(32, 4, 1), 6, 3, 2)
+	model := &Model{m: gcn.NewModel(1, gcn.LayerDims(6, 8, 3, 2))}
+	for _, vertices := range [][]int{{-1}, {32}, {0, 999}, {3, 3}, {1, 2, 1}, {}} {
+		if _, err := model.PredictSubset(ds, vertices); !errors.Is(err, ErrInvalidVertices) {
+			t.Fatalf("vertices %v: got %v, want ErrInvalidVertices", vertices, err)
+		}
+		if _, err := model.ProbabilitiesSubset(ds, vertices); !errors.Is(err, ErrInvalidVertices) {
+			t.Fatalf("probabilities %v: got %v, want ErrInvalidVertices", vertices, err)
+		}
+	}
+	// The full-batch lookup paths keep their laxer contract (duplicates are
+	// fine, range errors still tagged).
+	if _, err := model.Predict(ds, []int{5, 5}); err != nil {
+		t.Fatalf("full-batch duplicate lookup: %v", err)
+	}
+	if _, err := model.Predict(ds, []int{40}); !errors.Is(err, ErrInvalidVertices) {
+		t.Fatalf("full-batch range error: got %v, want ErrInvalidVertices", err)
+	}
+	if err := ValidateVertices(32, []int{0, 31}); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	big := make([]int, 64)
+	for i := range big {
+		big[i] = i
+	}
+	big[63] = 0 // duplicate beyond the quadratic-scan threshold
+	if err := ValidateVertices(64, big); !errors.Is(err, ErrInvalidVertices) {
+		t.Fatalf("large duplicate set: got %v, want ErrInvalidVertices", err)
+	}
+}
+
+// TestPredictWorkspaceReuseAllocFlat pins the satellite fix: repeated
+// Model.PredictInto and warm Predictor.PredictInto calls must not allocate.
+// The graph stays under the parallel-kernel thresholds (SpMM 256 rows,
+// GEMM 128) so no worker goroutines launch.
+func TestPredictWorkspaceReuseAllocFlat(t *testing.T) {
+	ds := subsetTestDataset(gen.ErdosRenyi(100, 6, 3), 8, 4, 7)
+	model := &Model{m: gcn.NewModel(2, gcn.LayerDims(8, 8, 4, 3))}
+	dst := make([]int, 3)
+	vertices := []int{4, 40, 99}
+	if err := model.PredictInto(dst, ds, vertices); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if err := model.PredictInto(dst, ds, vertices); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("steady-state Model.PredictInto allocates %v times, want 0", allocs)
+	}
+
+	probs := make([]float64, len(vertices)*model.Classes())
+	if _, err := model.ProbabilitiesSubsetInto(probs, ds, vertices); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := model.ProbabilitiesSubsetInto(probs, ds, vertices); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("steady-state ProbabilitiesSubsetInto allocates %v times, want 0", allocs)
+	}
+
+	pred, err := NewPredictor(model, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.PredictInto(dst, vertices); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if err := pred.PredictInto(dst, vertices); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("warm Predictor.PredictInto allocates %v times, want 0", allocs)
+	}
+}
+
+// TestLoadServableModel pins the hot-swap artifact sniffing: both a bare
+// model record and a checkpoint load into a servable model.
+func TestLoadServableModel(t *testing.T) {
+	model := &Model{m: gcn.NewModel(6, gcn.LayerDims(8, 8, 4, 2))}
+	mb, err := model.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, err := LoadServableModel(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != -1 {
+		t.Fatalf("bare model epoch %d, want -1", epoch)
+	}
+	if got.m.MaxWeightDiff(model.m) != 0 {
+		t.Fatal("model round-trip changed weights")
+	}
+	ck := &Checkpoint{epoch: 7, model: model.m.Clone()}
+	cb, err := ck.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, err = LoadServableModel(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 7 {
+		t.Fatalf("checkpoint epoch %d, want 7", epoch)
+	}
+	if got.m.MaxWeightDiff(model.m) != 0 {
+		t.Fatal("checkpoint round-trip changed weights")
+	}
+	if _, _, err := LoadServableModel([]byte{0x42}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
