@@ -72,6 +72,33 @@ func NewCluster(p int, opts ...ClusterOption) (*Cluster, error) {
 // Processes returns the cluster's process count.
 func (c *Cluster) Processes() int { return c.p }
 
+// ErrInjectedFault is the cause reported by faults armed without an explicit
+// error (InjectFault with a nil cause). Re-exported from the internal comm
+// package so external callers can errors.Is against it.
+var ErrInjectedFault = comm.ErrInjectedFault
+
+// RankError is the typed per-rank failure a faulted or aborted collective
+// surfaces from Session.Run and friends: which rank failed, at which
+// communication op, and the underlying cause (errors.As-able, Unwrap-able).
+type RankError = comm.RankError
+
+// InjectFault arms a one-shot communication fault on the cluster: the given
+// rank (-1 for any rank) fails at its afterOps-th communication operation of
+// the next collective launch, aborting the whole collective. A nil cause
+// reports comm.ErrInjectedFault. This is the chaos-testing hook behind the
+// recovery options of Session.Run.
+func (c *Cluster) InjectFault(rank int, afterOps int64, cause error) {
+	c.world.InjectFault(comm.Fault{Rank: rank, AfterOps: afterOps, Err: cause})
+}
+
+// SlowRank degrades (factor > 1) or heals (factor == 1) one rank's links:
+// modeled communication seconds charged to that rank are multiplied by
+// factor. Traffic volumes are unaffected.
+func (c *Cluster) SlowRank(rank int, factor float64) { c.world.SlowRank(rank, factor) }
+
+// ClearFaults disarms every pending injected fault and heals all slow links.
+func (c *Cluster) ClearFaults() { c.world.ClearFaults() }
+
 // DistOpts configures how a dataset is distributed across a cluster.
 type DistOpts struct {
 	// Algorithm selects the distributed SpMM engine. Required.

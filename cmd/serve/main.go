@@ -63,6 +63,8 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 256, "distinct vertices per inference batch")
 	cacheSize := flag.Int("cache", 4096, "probability-cache capacity (negative disables)")
 	maxReq := flag.Int("maxreq", 1024, "max vertices per request")
+	maxInFlight := flag.Int("maxinflight", 1024, "admission limit: in-flight predictions before shedding 503s (negative = unlimited)")
+	reqTimeout := flag.Duration("reqtimeout", 5*time.Second, "per-request deadline, admission to answer (negative disables)")
 
 	// Load-generator mode.
 	loadgen := flag.Bool("loadgen", false, "run as a load generator against -target")
@@ -113,6 +115,8 @@ func main() {
 		MaxBatch:           *maxBatch,
 		CacheSize:          *cacheSize,
 		MaxRequestVertices: *maxReq,
+		MaxInFlight:        *maxInFlight,
+		RequestTimeout:     *reqTimeout,
 	})
 	if err != nil {
 		fatal(err)
@@ -139,8 +143,9 @@ func main() {
 	}
 	srv.Close()
 	snap := srv.Metrics()
-	fmt.Printf("served %d requests (%d failed), %.1f qps, cache hit rate %.2f, %.1f req/batch\n",
-		snap.Requests, snap.Failed, snap.QPS, snap.Cache.HitRate, snap.Batch.AvgRequests)
+	fmt.Printf("served %d requests (%d failed, %d shed, %d panics isolated), %.1f qps, cache hit rate %.2f, %.1f req/batch\n",
+		snap.Requests, snap.Failed, snap.Admission.Shed, snap.Admission.Panics,
+		snap.QPS, snap.Cache.HitRate, snap.Batch.AvgRequests)
 }
 
 // bootstrapModel loads a serialized model/checkpoint, or trains one with
@@ -188,6 +193,7 @@ func runLoadgen(target string, clients, perReq int, hot float64, d time.Duration
 	type result struct {
 		lat  []time.Duration
 		errs int
+		shed int
 	}
 	deadline := time.Now().Add(d)
 	results := make([]result, clients)
@@ -212,6 +218,13 @@ func runLoadgen(target string, clients, perReq int, hot float64, d time.Duration
 				// connection instead of dialing per request.
 				_, _ = io.Copy(io.Discard, resp.Body)
 				_ = resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					// Load shedding is the server protecting its latency, not
+					// a failure: count it separately so the shed rate under a
+					// given offered load is directly observable.
+					results[c].shed++
+					continue
+				}
 				if resp.StatusCode != http.StatusOK {
 					results[c].errs++
 					continue
@@ -222,18 +235,20 @@ func runLoadgen(target string, clients, perReq int, hot float64, d time.Duration
 	}
 	wg.Wait()
 	var all []time.Duration
-	errs := 0
+	errs, shed := 0, 0
 	for _, r := range results {
 		all = append(all, r.lat...)
 		errs += r.errs
+		shed += r.shed
 	}
 	if len(all) == 0 {
 		return errors.New("no successful requests")
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
-	fmt.Printf("requests %d  errors %d  throughput %.1f req/s\n",
-		len(all), errs, float64(len(all))/d.Seconds())
+	offered := len(all) + errs + shed
+	fmt.Printf("requests %d  errors %d  shed %d (%.1f%% of %d offered)  throughput %.1f req/s\n",
+		len(all), errs, shed, 100*float64(shed)/float64(offered), offered, float64(len(all))/d.Seconds())
 	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))

@@ -73,13 +73,14 @@ func NewAsync() *Async {
 	return a
 }
 
-// start hands the already-filled operation to the worker.
-func (a *Async) start() {
+// tryStart hands the already-filled operation to the worker, reporting
+// misuse as a typed error (ErrAsyncClosed, ErrAsyncBusy).
+func (a *Async) tryStart() error {
 	if a.closed {
-		panic("comm: Start on closed Async")
+		return ErrAsyncClosed
 	}
 	if a.inFlight {
-		panic("comm: Async already has an operation in flight; Await it first")
+		return ErrAsyncBusy
 	}
 	if !a.started {
 		a.started = true
@@ -87,6 +88,14 @@ func (a *Async) start() {
 	}
 	a.inFlight = true
 	a.req <- struct{}{}
+	return nil
+}
+
+// start is tryStart with the legacy contract: misuse panics.
+func (a *Async) start() {
+	if err := a.tryStart(); err != nil {
+		panic(err.Error())
+	}
 }
 
 // asyncLoop is the worker: one operation per request, until the request
@@ -132,6 +141,23 @@ func (a *Async) Await() {
 	*a.op = asyncOp{}
 }
 
+// Drain waits out any in-flight operation and discards its outcome —
+// including a captured panic — leaving the Async idle and reusable. It is
+// the abort-path counterpart of Await: an executor unwinding from a world
+// abort cannot re-raise (it is already panicking) but must not leave a
+// completion pending, or the next run's first Await would consume a stale
+// one. Safe to call when nothing is in flight. The caller must ensure the
+// in-flight operation can finish — on the abort path World.Abort has
+// already unblocked it.
+func (a *Async) Drain() {
+	if !a.inFlight {
+		return
+	}
+	<-a.done
+	a.inFlight = false
+	*a.op = asyncOp{}
+}
+
 // Close waits for any in-flight operation and releases the worker
 // goroutine. The Async must not be used afterwards. Also installed as the
 // finalizer, so dropping every reference has the same effect eventually.
@@ -139,7 +165,9 @@ func (a *Async) Close() {
 	if a.closed {
 		return
 	}
-	a.Await()
+	// Drain, not Await: Close also runs as a finalizer and on abort paths,
+	// where re-raising a captured panic would be fatal or double-panic.
+	a.Drain()
 	a.closed = true
 	runtime.SetFinalizer(a, nil)
 	if a.started {
@@ -170,4 +198,34 @@ func (a *Async) StartAllToAllvInto(g *Group, r *Rank, send, recv [][]float64, ph
 func (a *Async) StartRecvInto(r *Rank, src, tag int, dst []float64) {
 	*a.op = asyncOp{kind: asyncRecvInto, r: r, src: src, tag: tag, dst: dst}
 	a.start()
+}
+
+// TryStartBcastFloatsInto is StartBcastFloatsInto reporting misuse (already
+// in flight, closed) as a typed error instead of panicking.
+func (a *Async) TryStartBcastFloatsInto(g *Group, r *Rank, root int, data, dst []float64, phase string) error {
+	if a.closed || a.inFlight {
+		return a.tryStart()
+	}
+	*a.op = asyncOp{kind: asyncBcastInto, g: g, r: r, root: root, data: data, dst: dst, phase: phase}
+	return a.tryStart()
+}
+
+// TryStartAllToAllvInto is StartAllToAllvInto reporting misuse as a typed
+// error instead of panicking.
+func (a *Async) TryStartAllToAllvInto(g *Group, r *Rank, send, recv [][]float64, phase string) error {
+	if a.closed || a.inFlight {
+		return a.tryStart()
+	}
+	*a.op = asyncOp{kind: asyncAllToAllvInto, g: g, r: r, send: send, recv: recv, phase: phase}
+	return a.tryStart()
+}
+
+// TryStartRecvInto is StartRecvInto reporting misuse as a typed error
+// instead of panicking.
+func (a *Async) TryStartRecvInto(r *Rank, src, tag int, dst []float64) error {
+	if a.closed || a.inFlight {
+		return a.tryStart()
+	}
+	*a.op = asyncOp{kind: asyncRecvInto, r: r, src: src, tag: tag, dst: dst}
+	return a.tryStart()
 }

@@ -2,13 +2,18 @@ package comm
 
 import "sync"
 
-// barrier is a reusable cyclic barrier for a fixed party count.
+// barrier is a reusable cyclic barrier for a fixed party count, with an
+// abort mode: once aborted, every current and future waiter unwinds with the
+// abortPanic sentinel instead of blocking into a round that will never
+// complete (some parties have already failed). reset re-arms it for the
+// next run.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	p     int
-	count int
-	round uint64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	p       int
+	count   int
+	round   uint64
+	aborted bool
 }
 
 func newBarrier(p int) *barrier {
@@ -17,22 +22,56 @@ func newBarrier(p int) *barrier {
 	return b
 }
 
-// wait blocks until all p parties have called wait for the current round.
+// wait blocks until all p parties have called wait for the current round,
+// or unwinds if the barrier is aborted first. A waiter whose round completed
+// before the abort proceeds normally — the abort only kills rounds that can
+// no longer fill.
 func (b *barrier) wait() {
 	if b.p == 1 {
 		return
 	}
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(abortPanic{})
+	}
 	round := b.round
 	b.count++
 	if b.count == b.p {
 		b.count = 0
 		b.round++
 		b.cond.Broadcast()
-	} else {
-		for round == b.round {
-			b.cond.Wait()
-		}
+		b.mu.Unlock()
+		return
 	}
+	for round == b.round && !b.aborted {
+		b.cond.Wait()
+	}
+	failed := b.aborted && round == b.round
+	b.mu.Unlock()
+	if failed {
+		panic(abortPanic{})
+	}
+}
+
+// abort wakes every waiter and makes this and all future rounds unwind,
+// until reset.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset re-arms an aborted barrier. The round advances so any straggler
+// still holding the old round number exits cleanly rather than rejoining a
+// half-counted round; callers (World.reset) guarantee no party is actively
+// waiting when reset runs.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.aborted = false
+	b.count = 0
+	b.round++
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }

@@ -21,11 +21,22 @@
 // modeled share (each member of a broadcast, all-reduce, or all-to-allv
 // calls with the phase to charge), because all members drive the
 // collective's algorithm.
+//
+// # Failure model
+//
+// The world has a failure-aware execution mode (see fault.go): faults can be
+// injected at named points in a rank's operation stream, any failure aborts
+// the whole collective deterministically (every blocked primitive unwinds
+// instead of deadlocking), and RunErr/RunCtx/RunTimeout return a typed
+// *RankError. The legacy Run and the misuse panics below are thin wrappers
+// kept for source compatibility; new failure-aware callers use the Try*
+// forms and the error-returning launchers.
 package comm
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sagnn/internal/machine"
 )
@@ -46,6 +57,28 @@ type World struct {
 	mail   [][]chan message // mail[dst][src]
 	world  *Group
 	pool   bufPool
+
+	// degrade holds per-rank comm-time multipliers (fault-priced time).
+	degrade *machine.Degradation
+
+	// ops counts communication operations per rank within the current Run;
+	// fault sites are addressed in this coordinate. In overlap mode a rank
+	// and its async worker advance the same counter concurrently, hence
+	// atomics.
+	ops []atomic.Int64
+
+	// Abort protocol state: the first failure records its cause and closes
+	// the abort channel every blocking primitive selects on. See fault.go.
+	abortMu  sync.Mutex
+	abortErr error
+	abortCh  atomic.Pointer[abortState]
+
+	faultMu    sync.Mutex
+	faults     []Fault
+	haveFaults atomic.Bool
+
+	groupMu sync.Mutex
+	groups  []*Group
 }
 
 // NewWorld creates a world of p ranks with the given machine parameters.
@@ -54,12 +87,15 @@ func NewWorld(p int, params machine.Params) *World {
 		panic(fmt.Sprintf("comm: world size %d", p))
 	}
 	w := &World{
-		P:      p,
-		Params: params,
-		Ledger: machine.NewLedger(p),
-		stats:  newStats(p),
-		pool:   newBufPool(),
+		P:       p,
+		Params:  params,
+		Ledger:  machine.NewLedger(p),
+		stats:   newStats(p),
+		pool:    newBufPool(),
+		degrade: machine.NewDegradation(p),
+		ops:     make([]atomic.Int64, p),
 	}
+	w.abortCh.Store(&abortState{ch: make(chan struct{})})
 	w.mail = make([][]chan message, p)
 	for d := range w.mail {
 		w.mail[d] = make([]chan message, p)
@@ -94,7 +130,7 @@ func (w *World) NewGroup(members []int) *Group {
 		}
 		idx[m] = i
 	}
-	return &Group{
+	g := &Group{
 		w:       w,
 		members: append([]int(nil), members...),
 		idx:     idx,
@@ -103,31 +139,19 @@ func (w *World) NewGroup(members []int) *Group {
 		vslots:  make([][][]float64, len(members)),
 		islots:  make([][][]int, len(members)),
 	}
+	w.groupMu.Lock()
+	w.groups = append(w.groups, g)
+	w.groupMu.Unlock()
+	return g
 }
 
 // Run executes fn once per rank, each in its own goroutine, and blocks
-// until all return. Any rank panic is re-raised on the caller with its rank
-// attached.
+// until all return. Any failure is re-raised as a panic on the caller with
+// its rank attached — the legacy form. Failure-aware callers use RunErr,
+// RunCtx, or RunTimeout, which return the *RankError instead.
 func (w *World) Run(fn func(r *Rank)) {
-	var wg sync.WaitGroup
-	panics := make(chan any, w.P)
-	for id := 0; id < w.P; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			defer func() {
-				if e := recover(); e != nil {
-					panics <- fmt.Sprintf("rank %d: %v", id, e)
-				}
-			}()
-			fn(&Rank{w: w, ID: id})
-		}(id)
-	}
-	wg.Wait()
-	select {
-	case e := <-panics:
-		panic(e)
-	default:
+	if err := w.RunErr(func(r *Rank) error { fn(r); return nil }); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -155,10 +179,58 @@ func (r *Rank) chargeTime(phase string, sec float64) {
 	r.w.Ledger.Add(r.ID, phase, sec)
 }
 
+// chargeComm is chargeTime for communication seconds: the rank's current
+// degradation factor (slow-link faults, SlowRank) scales the charge, so a
+// degraded link is priced where a real one would be. Compute charges are
+// never scaled.
+func (r *Rank) chargeComm(phase string, sec float64) {
+	if phase == "" {
+		return
+	}
+	r.w.Ledger.Add(r.ID, phase, sec*r.w.degrade.Factor(r.ID))
+}
+
+// CommFactor returns this rank's current communication-time multiplier
+// (1 when healthy). Self-priced executors that settle communication time in
+// bulk apply it themselves, since their inline charges are suppressed.
+func (r *Rank) CommFactor() float64 { return r.w.degrade.Factor(r.ID) }
+
 // ChargeCompute credits modeled local-computation seconds (SpMM, GEMM,
 // packing) to this rank. Algorithms call this with machine.Params-derived
 // times.
 func (r *Rank) ChargeCompute(phase string, sec float64) { r.chargeTime(phase, sec) }
+
+// sendMsg enqueues m for dst, unwinding if the world aborts while the
+// mailbox is full. The fast path is a plain buffered-channel send.
+func (w *World) sendMsg(dst, src int, m message) {
+	select {
+	case w.mail[dst][src] <- m:
+		return
+	default:
+	}
+	select {
+	case w.mail[dst][src] <- m:
+	case <-w.abortCh.Load().ch:
+		w.pool.put(m.floats)
+		panic(abortPanic{})
+	}
+}
+
+// recvMsg dequeues the next message from src for dst, unwinding if the
+// world aborts while the mailbox is empty.
+func (w *World) recvMsg(dst, src int) message {
+	select {
+	case m := <-w.mail[dst][src]:
+		return m
+	default:
+	}
+	select {
+	case m := <-w.mail[dst][src]:
+		return m
+	case <-w.abortCh.Load().ch:
+		panic(abortPanic{})
+	}
+}
 
 // Send delivers a tagged float payload to dst. Models an eager/buffered
 // send: it never blocks (mailboxes hold 64 in-flight messages per pair, far above the ≤1-per-Multiply the staged protocols use), matching the paper's use of
@@ -172,6 +244,7 @@ func (r *Rank) Send(dst, tag int, floats []float64, phase string) {
 	if dst == r.ID {
 		panic("comm: self-send not supported; use local data directly")
 	}
+	r.opPoint()
 	var cp []float64
 	if floats != nil {
 		cp = r.w.pool.get(len(floats))
@@ -188,14 +261,15 @@ func (r *Rank) SendOwned(dst, tag int, floats []float64, phase string) {
 	if dst == r.ID {
 		panic("comm: self-send not supported; use local data directly")
 	}
+	r.opPoint()
 	r.sendOwned(dst, tag, floats, phase)
 }
 
 func (r *Rank) sendOwned(dst, tag int, floats []float64, phase string) {
-	r.w.mail[dst][r.ID] <- message{tag: tag, floats: floats}
+	r.w.sendMsg(dst, r.ID, message{tag: tag, floats: floats})
 	n := int64(len(floats)) * machine.BytesPerElem
 	r.w.stats.addSend(r.ID, n, 1)
-	r.chargeTime(phase, r.w.Params.P2PTime(n))
+	r.chargeComm(phase, r.w.Params.P2PTime(n))
 }
 
 // SendInts delivers a tagged int payload to dst (used to exchange the
@@ -204,55 +278,90 @@ func (r *Rank) SendInts(dst, tag int, ints []int, phase string) {
 	if dst == r.ID {
 		panic("comm: self-send not supported")
 	}
+	r.opPoint()
 	cp := append([]int(nil), ints...)
-	r.w.mail[dst][r.ID] <- message{tag: tag, ints: cp}
+	r.w.sendMsg(dst, r.ID, message{tag: tag, ints: cp})
 	n := int64(len(ints)) * machine.BytesPerElem
 	r.w.stats.addSend(r.ID, n, 1)
-	r.chargeTime(phase, r.w.Params.P2PTime(n))
+	r.chargeComm(phase, r.w.Params.P2PTime(n))
 }
 
-// Recv blocks until the next message from src arrives and returns its float
-// payload. The tag must match the head message — the protocols in this
-// repository are deterministic, so a mismatch is a bug, not a race. No time
-// is charged: the sender already paid the message's full α–β cost (see the
-// package comment).
+// TryRecv blocks until the next message from src arrives and returns its
+// float payload, or a typed error (ErrTagMismatch) when the head message
+// carries a different tag — the protocols in this repository are
+// deterministic, so a mismatch is a bug, not a race. No time is charged: the
+// sender already paid the message's full α–β cost (see the package comment).
 //
 // The returned buffer is owned by the caller: keep it indefinitely, or hand
 // it back with PutFloats once done. For a zero-allocation steady state use
 // RecvInto with a persistent workspace instead.
-func (r *Rank) Recv(src, tag int) []float64 {
-	m := <-r.w.mail[r.ID][src]
+func (r *Rank) TryRecv(src, tag int) ([]float64, error) {
+	r.opPoint()
+	m := r.w.recvMsg(r.ID, src)
 	if m.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
+		r.w.pool.put(m.floats)
+		return nil, fmt.Errorf("%w: rank %d expected tag %d from %d, got %d", ErrTagMismatch, r.ID, tag, src, m.tag)
 	}
 	n := int64(len(m.floats)) * machine.BytesPerElem
 	r.w.stats.addRecv(r.ID, n)
-	return m.floats
+	return m.floats, nil
 }
 
-// RecvInto blocks for the next message from src, copies its payload into
-// dst (whose length must equal the payload length), and recycles the
-// transport buffer. Volume accounting matches Recv exactly.
-func (r *Rank) RecvInto(src, tag int, dst []float64) {
-	m := <-r.w.mail[r.ID][src]
+// Recv is TryRecv with the legacy contract: misuse panics.
+func (r *Rank) Recv(src, tag int) []float64 {
+	out, err := r.TryRecv(src, tag)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// TryRecvInto blocks for the next message from src, copies its payload into
+// dst, and recycles the transport buffer. A tag mismatch returns
+// ErrTagMismatch; a payload whose length differs from dst returns
+// ErrSizeMismatch. Volume accounting matches TryRecv exactly.
+func (r *Rank) TryRecvInto(src, tag int, dst []float64) error {
+	r.opPoint()
+	m := r.w.recvMsg(r.ID, src)
 	if m.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
+		r.w.pool.put(m.floats)
+		return fmt.Errorf("%w: rank %d expected tag %d from %d, got %d", ErrTagMismatch, r.ID, tag, src, m.tag)
 	}
 	if len(m.floats) != len(dst) {
-		panic(fmt.Sprintf("comm: rank %d RecvInto dst len %d, payload len %d", r.ID, len(dst), len(m.floats)))
+		r.w.pool.put(m.floats)
+		return fmt.Errorf("%w: rank %d RecvInto dst len %d, payload len %d", ErrSizeMismatch, r.ID, len(dst), len(m.floats))
 	}
 	copy(dst, m.floats)
 	n := int64(len(m.floats)) * machine.BytesPerElem
 	r.w.stats.addRecv(r.ID, n)
 	r.w.pool.put(m.floats)
+	return nil
 }
 
-// RecvInts is Recv for int payloads.
-func (r *Rank) RecvInts(src, tag int) []int {
-	m := <-r.w.mail[r.ID][src]
+// RecvInto is TryRecvInto with the legacy contract: misuse panics.
+func (r *Rank) RecvInto(src, tag int, dst []float64) {
+	if err := r.TryRecvInto(src, tag, dst); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryRecvInts is TryRecv for int payloads.
+func (r *Rank) TryRecvInts(src, tag int) ([]int, error) {
+	r.opPoint()
+	m := r.w.recvMsg(r.ID, src)
 	if m.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
+		r.w.pool.put(m.floats)
+		return nil, fmt.Errorf("%w: rank %d expected tag %d from %d, got %d", ErrTagMismatch, r.ID, tag, src, m.tag)
 	}
 	r.w.stats.addRecv(r.ID, int64(len(m.ints))*machine.BytesPerElem)
-	return m.ints
+	return m.ints, nil
+}
+
+// RecvInts is TryRecvInts with the legacy contract: misuse panics.
+func (r *Rank) RecvInts(src, tag int) []int {
+	out, err := r.TryRecvInts(src, tag)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
 }

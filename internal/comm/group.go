@@ -42,7 +42,20 @@ func (g *Group) IndexOf(r *Rank) int {
 // Barrier synchronises all members.
 func (g *Group) Barrier(r *Rank) {
 	g.IndexOf(r)
+	r.opPoint()
 	g.bar.wait()
+}
+
+// reset clears every member's exchange slots and re-arms the barrier after
+// an aborted run (an abort can strand published payloads in the slots).
+// Called from World.reset once all ranks have unwound.
+func (g *Group) reset() {
+	g.bar.reset()
+	for i := range g.members {
+		g.fslots[i] = nil
+		g.vslots[i] = nil
+		g.islots[i] = nil
+	}
 }
 
 // retire waits for all members to finish reading, then clears the caller's
@@ -70,6 +83,7 @@ func (g *Group) BcastFloatsInto(r *Rank, root int, data, dst []float64, phase st
 
 func (g *Group) bcastFloats(r *Rank, root int, data, dst []float64, useDst bool, phase string) []float64 {
 	me := g.IndexOf(r)
+	r.opPoint()
 	if me == root {
 		g.fslots[me] = data
 	}
@@ -89,7 +103,7 @@ func (g *Group) bcastFloats(r *Rank, root int, data, dst []float64, useDst bool,
 	} else {
 		g.w.stats.addRecv(r.ID, nBytes)
 	}
-	r.chargeTime(phase, g.w.Params.BcastTime(nBytes, g.Size()))
+	r.chargeComm(phase, g.w.Params.BcastTime(nBytes, g.Size()))
 	g.retire(r)
 	return dst
 }
@@ -114,6 +128,7 @@ func (g *Group) AllReduceSumInto(r *Rank, data, out []float64, phase string) {
 		panic("comm: AllReduceSumInto out must not alias data")
 	}
 	me := g.IndexOf(r)
+	r.opPoint()
 	g.fslots[me] = data
 	g.bar.wait()
 	for j := range out {
@@ -134,7 +149,7 @@ func (g *Group) AllReduceSumInto(r *Rank, data, out []float64, phase string) {
 		g.w.stats.addSend(r.ID, ringVol, int64(g.Size()-1))
 		g.w.stats.addRecv(r.ID, ringVol)
 	}
-	r.chargeTime(phase, g.w.Params.AllReduceTime(nBytes, g.Size()))
+	r.chargeComm(phase, g.w.Params.AllReduceTime(nBytes, g.Size()))
 	g.retire(r)
 }
 
@@ -157,6 +172,7 @@ func (g *Group) AllGatherFloatsInto(r *Rank, data []float64, dst [][]float64, ph
 
 func (g *Group) allGatherFloats(r *Rank, data []float64, dst [][]float64, phase string) [][]float64 {
 	me := g.IndexOf(r)
+	r.opPoint()
 	g.fslots[me] = data
 	g.bar.wait()
 	alloc := dst == nil
@@ -182,7 +198,7 @@ func (g *Group) allGatherFloats(r *Rank, data []float64, dst [][]float64, phase 
 		g.w.stats.addSend(r.ID, ownBytes, int64(g.Size()-1))
 		g.w.stats.addRecv(r.ID, totalBytes-ownBytes)
 	}
-	r.chargeTime(phase, g.w.Params.AllGatherTime(totalBytes, g.Size()))
+	r.chargeComm(phase, g.w.Params.AllGatherTime(totalBytes, g.Size()))
 	g.retire(r)
 	return dst
 }
@@ -212,6 +228,7 @@ func (g *Group) allToAllv(r *Rank, send, recv [][]float64, phase string) [][]flo
 		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))
 	}
 	me := g.IndexOf(r)
+	r.opPoint()
 	g.vslots[me] = send
 	g.bar.wait()
 	alloc := recv == nil
@@ -242,7 +259,7 @@ func (g *Group) allToAllv(r *Rank, send, recv [][]float64, phase string) [][]flo
 	recvBytes := recvElems * machine.BytesPerElem
 	g.w.stats.addSend(r.ID, sendBytes, int64(partners))
 	g.w.stats.addRecv(r.ID, recvBytes)
-	r.chargeTime(phase, g.w.Params.AllToAllvTime(sendBytes, recvBytes, partners))
+	r.chargeComm(phase, g.w.Params.AllToAllvTime(sendBytes, recvBytes, partners))
 	g.retire(r)
 	return recv
 }
@@ -254,6 +271,7 @@ func (g *Group) AllToAllvInts(r *Rank, send [][]int, phase string) [][]int {
 		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))
 	}
 	me := g.IndexOf(r)
+	r.opPoint()
 	g.islots[me] = send
 	g.bar.wait()
 	out := make([][]int, g.Size())
@@ -272,7 +290,7 @@ func (g *Group) AllToAllvInts(r *Rank, send [][]int, phase string) [][]int {
 	}
 	g.w.stats.addSend(r.ID, sendElems*machine.BytesPerElem, int64(partners))
 	g.w.stats.addRecv(r.ID, recvElems*machine.BytesPerElem)
-	r.chargeTime(phase, g.w.Params.AllToAllvTime(sendElems*machine.BytesPerElem, recvElems*machine.BytesPerElem, partners))
+	r.chargeComm(phase, g.w.Params.AllToAllvTime(sendElems*machine.BytesPerElem, recvElems*machine.BytesPerElem, partners))
 	g.retire(r)
 	return out
 }

@@ -370,6 +370,26 @@ func (p *Plan) executeOverlap(r *comm.Rank, hLocal, out *dense.Matrix, ws *execW
 	if ws.async == nil {
 		ws.async = comm.NewAsync()
 	}
+	// Abort safety: if this rank unwinds mid-pipeline (an injected fault, a
+	// world abort, a compute panic) the background worker may still be inside
+	// a collective. Record the failure first — a fresh panic must abort the
+	// world, or the worker's blocked operation would never complete — then
+	// drain the worker so the Async is idle and reusable for the retry.
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		if !comm.IsAbortPanic(e) {
+			err, ok := e.(error)
+			if !ok {
+				err = fmt.Errorf("panic: %v", e)
+			}
+			r.World().Abort(&comm.RankError{Rank: r.ID, Err: err})
+		}
+		ws.async.Drain()
+		panic(e)
+	}()
 	prog := p.progs[r.ID]
 	pp := p.pipelineFor(r.ID)
 	if n := len(pp.stages); n > 0 {
@@ -395,7 +415,15 @@ func (p *Plan) executeOverlap(r *comm.Rank, hLocal, out *dense.Matrix, ws *execW
 	if p.widths != nil {
 		globalF = p.fFixed
 	}
+	// Fault-priced time: the self-priced settlement scales exposed
+	// communication by the rank's degradation factor, mirroring what the
+	// sequential executor's inline charges do. Healthy ranks (factor 1) keep
+	// the float-identical CostWith(ExecOverlap) emission.
+	factor := r.CommFactor()
 	p.walkOverlap(r.ID, globalF, p.world.Params, func(phase string, sec float64) {
+		if factor != 1 && phase != "local" {
+			sec *= factor
+		}
 		r.ChargeCompute(phase, sec)
 	})
 }

@@ -1,6 +1,8 @@
 package gcn
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +11,13 @@ import (
 	"sagnn/internal/distmm"
 	"sagnn/internal/opt"
 )
+
+// ErrInconsistent reports a Step on a trainer whose last collective aborted
+// mid-epoch: some ranks may have applied the epoch's weight update and others
+// not, so the replicas can no longer be assumed bit-identical. Restoring a
+// model checkpoint (SetModel) re-synchronizes every replica and clears the
+// condition.
+var ErrInconsistent = errors.New("gcn: training state inconsistent after an aborted epoch; restore a model checkpoint before stepping")
 
 // Distributed trains a GCN with block-row parallelism over any
 // distmm.Engine (oblivious or sparsity-aware, 1D or 1.5D). Every rank keeps
@@ -272,6 +281,10 @@ type Stepper struct {
 	d     *Distributed
 	ranks []*rankState
 	epoch int
+	// dirty marks that a collective aborted mid-epoch, leaving the weight
+	// replicas possibly divergent across ranks; stepping refuses to continue
+	// until SetModel re-synchronizes them.
+	dirty bool
 }
 
 // Stepper builds the persistent per-rank training state (in parallel, one
@@ -287,24 +300,34 @@ func (d *Distributed) Stepper() *Stepper {
 
 // Step runs one training epoch across all ranks and returns its result.
 func (st *Stepper) Step() EpochResult {
-	res := EpochResult{Epoch: st.epoch}
-	st.d.World.Run(func(r *comm.Rank) {
-		loss, acc := st.d.rankEpoch(r, st.ranks[r.ID])
-		if r.ID == 0 {
-			res.Loss, res.TrainAcc = loss, acc
-		}
-	})
-	st.epoch++
-	return res
+	return st.StepN(1)[0]
 }
 
 // StepN runs n consecutive epochs inside a single collective launch (one
 // goroutine per rank for the whole batch) and returns their results. It is
 // numerically identical to n Step calls but amortises the launch overhead,
-// so batch callers (TrainEpochs, benchmark loops) prefer it.
+// so batch callers (TrainEpochs, benchmark loops) prefer it. Failures panic
+// — the legacy contract; failure-aware callers use StepNCtx.
 func (st *Stepper) StepN(n int) []EpochResult {
+	results, err := st.StepNCtx(context.Background(), n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return results
+}
+
+// StepNCtx is StepN with a failure path: a fault in any rank, a panic, or
+// ctx cancellation aborts the collective mid-epoch (every rank unblocks) and
+// returns the typed error. An aborted epoch leaves the trainer dirty —
+// weight replicas may have diverged — so further stepping returns
+// ErrInconsistent until SetModel restores a checkpoint; the epoch counter
+// does not advance and no partial results are returned.
+func (st *Stepper) StepNCtx(ctx context.Context, n int) ([]EpochResult, error) {
+	if st.dirty {
+		return nil, ErrInconsistent
+	}
 	results := make([]EpochResult, n)
-	st.d.World.Run(func(r *comm.Rank) {
+	err := st.d.World.RunCtx(ctx, func(r *comm.Rank) error {
 		rs := st.ranks[r.ID]
 		for e := 0; e < n; e++ {
 			loss, acc := st.d.rankEpoch(r, rs)
@@ -312,9 +335,14 @@ func (st *Stepper) StepN(n int) []EpochResult {
 				results[e] = EpochResult{Epoch: st.epoch + e, Loss: loss, TrainAcc: acc}
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		st.dirty = true
+		return nil, err
+	}
 	st.epoch += n
-	return results
+	return results, nil
 }
 
 // Epoch returns the number of epochs stepped so far (the next Step's index).
@@ -347,8 +375,15 @@ func (st *Stepper) SetModel(m *Model) error {
 		rs.optimizer = rs.newOpt()
 	}
 	st.d.FinalModel = st.ranks[0].model
+	// Every replica is again a byte-identical copy of m with fresh optimizer
+	// state: whatever divergence an aborted epoch caused is gone.
+	st.dirty = false
 	return nil
 }
+
+// Dirty reports whether an aborted epoch has left the replicas possibly
+// divergent (stepping will refuse until SetModel).
+func (st *Stepper) Dirty() bool { return st.dirty }
 
 // TrainEpochs runs full-batch training for the given number of epochs
 // across all ranks and returns the per-epoch loss/accuracy trajectory

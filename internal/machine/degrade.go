@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Degradation models per-rank communication-time degradation: a slow NIC, a
+// congested link, a flaky switch port. The comm layer multiplies every
+// modeled communication second it charges to a rank by that rank's current
+// factor, so a degraded link shows up in the ledger exactly where a real one
+// would — as inflated comm phases on the affected rank — while volume
+// accounting (bytes and messages on the wire) is untouched.
+//
+// Factors are read on every charge in the training hot loop, so the zero
+// state ("nothing degraded", by far the common case) is a single atomic load
+// of the active counter. Setting and clearing factors is safe from any
+// goroutine at any time, including mid-run: that is how fault injection
+// flips a link slow while ranks are inside a collective.
+type Degradation struct {
+	active  atomic.Int64    // number of ranks with a factor != 1
+	factors []atomic.Uint64 // math.Float64bits of the factor; 0 means unset (1.0)
+}
+
+// NewDegradation returns an all-healthy degradation map for p ranks.
+func NewDegradation(p int) *Degradation {
+	return &Degradation{factors: make([]atomic.Uint64, p)}
+}
+
+// SetFactor sets rank's communication-time multiplier. Factors of 1 (or
+// anything non-positive) mean healthy and clear the entry.
+func (d *Degradation) SetFactor(rank int, f float64) {
+	if rank < 0 || rank >= len(d.factors) {
+		return
+	}
+	var bits uint64
+	if f > 0 && f != 1 {
+		bits = math.Float64bits(f)
+	}
+	old := d.factors[rank].Swap(bits)
+	switch {
+	case old == 0 && bits != 0:
+		d.active.Add(1)
+	case old != 0 && bits == 0:
+		d.active.Add(-1)
+	}
+}
+
+// Factor returns rank's current communication-time multiplier (1 when
+// healthy). The healthy-world fast path is one atomic load.
+func (d *Degradation) Factor(rank int) float64 {
+	if d.active.Load() == 0 {
+		return 1
+	}
+	if rank < 0 || rank >= len(d.factors) {
+		return 1
+	}
+	bits := d.factors[rank].Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// Reset heals every rank.
+func (d *Degradation) Reset() {
+	for i := range d.factors {
+		d.SetFactor(i, 1)
+	}
+}

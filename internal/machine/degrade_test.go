@@ -1,0 +1,55 @@
+package machine
+
+import "testing"
+
+func TestDegradationDefaultsHealthy(t *testing.T) {
+	d := NewDegradation(4)
+	for i := 0; i < 4; i++ {
+		if f := d.Factor(i); f != 1 {
+			t.Fatalf("rank %d factor %v, want 1", i, f)
+		}
+	}
+	if f := d.Factor(-1); f != 1 {
+		t.Fatalf("out-of-range rank factor %v, want 1", f)
+	}
+	if f := d.Factor(99); f != 1 {
+		t.Fatalf("out-of-range rank factor %v, want 1", f)
+	}
+}
+
+func TestDegradationSetClearReset(t *testing.T) {
+	d := NewDegradation(3)
+	d.SetFactor(1, 5)
+	if f := d.Factor(1); f != 5 {
+		t.Fatalf("factor %v, want 5", f)
+	}
+	if f := d.Factor(0); f != 1 {
+		t.Fatalf("untouched rank factor %v, want 1", f)
+	}
+	d.SetFactor(1, 1) // heal
+	if f := d.Factor(1); f != 1 {
+		t.Fatalf("healed factor %v, want 1", f)
+	}
+	d.SetFactor(0, 2)
+	d.SetFactor(2, 3)
+	d.Reset()
+	for i := 0; i < 3; i++ {
+		if f := d.Factor(i); f != 1 {
+			t.Fatalf("rank %d factor %v after Reset, want 1", i, f)
+		}
+	}
+	d.SetFactor(99, 7) // out of range: ignored, no panic
+}
+
+func TestDegradationNonPositiveClears(t *testing.T) {
+	d := NewDegradation(1)
+	d.SetFactor(0, 4)
+	d.SetFactor(0, 0)
+	if f := d.Factor(0); f != 1 {
+		t.Fatalf("factor %v after non-positive set, want 1", f)
+	}
+	d.SetFactor(0, -3)
+	if f := d.Factor(0); f != 1 {
+		t.Fatalf("factor %v after negative set, want 1", f)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -11,6 +12,11 @@ import (
 // ErrClosed is returned for predictions attempted after the server (and its
 // batcher) began shutting down.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrInferencePanic fails the requests of a batch whose inference panicked.
+// The panic is confined to that one batch: the collection loop keeps running
+// and every other request is unaffected.
+var ErrInferencePanic = errors.New("serve: inference panicked")
 
 // batchExec runs one inference over a sorted set of distinct vertices,
 // returning one probability row and class per vertex (aligned to the
@@ -150,6 +156,19 @@ func (b *Batcher) loop() {
 	}
 }
 
+// safeExec shields the collection loop from a panicking exec: the panic
+// becomes an ErrInferencePanic failing only this batch, instead of killing
+// the loop goroutine and wedging every future request.
+func (b *Batcher) safeExec(vertices []int) (rows [][]float64, classes []int, gathered int, gen uint64, err error) {
+	defer func() {
+		if e := recover(); e != nil {
+			rows, classes, gathered, gen = nil, nil, 0, 0
+			err = fmt.Errorf("%w: %v", ErrInferencePanic, e)
+		}
+	}()
+	return b.exec(vertices)
+}
+
 // distinctUpperBound is the cheap batch-size signal: summed request sizes
 // (requests never repeat a vertex internally, so overlap only shrinks it).
 func (b *Batcher) distinctUpperBound(batch []*batchReq) int {
@@ -177,7 +196,7 @@ func (b *Batcher) run(batch []*batchReq) {
 	for i, v := range union {
 		pos[v] = i
 	}
-	rows, classes, gathered, gen, err := b.exec(union)
+	rows, classes, gathered, gen, err := b.safeExec(union)
 	if err == nil && b.onBatch != nil {
 		b.onBatch(len(batch), len(union), gathered)
 	}

@@ -34,6 +34,9 @@ type Metrics struct {
 
 	swaps atomic.Uint64 // model hot-swaps
 
+	shed   atomic.Uint64 // requests refused by admission control (503)
+	panics atomic.Uint64 // inference panics isolated to their batch
+
 	mu      sync.Mutex
 	samples []float64 // latency ring, milliseconds
 	next    int
@@ -98,6 +101,16 @@ type BatchSnapshot struct {
 	GatherRowFraction float64 `json:"gather_row_fraction"` // gathered rows / graph vertices
 }
 
+// AdmissionSnapshot reports overload behavior: live occupancy against the
+// in-flight limit, requests shed with 503, and inference panics that were
+// isolated to their batch.
+type AdmissionSnapshot struct {
+	InFlight    int64  `json:"in_flight"`
+	MaxInFlight int    `json:"max_in_flight"` // <= 0 means unlimited
+	Shed        uint64 `json:"shed"`
+	Panics      uint64 `json:"panics"`
+}
+
 // ModelSnapshot identifies the serving model state.
 type ModelSnapshot struct {
 	Generation uint64 `json:"generation"`
@@ -107,20 +120,21 @@ type ModelSnapshot struct {
 
 // Snapshot is the JSON document the /metrics endpoint returns.
 type Snapshot struct {
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	Requests      uint64          `json:"requests"`
-	Failed        uint64          `json:"failed"`
-	QPS           float64         `json:"qps"`
-	Vertices      uint64          `json:"vertices"`
-	Latency       LatencySnapshot `json:"latency"`
-	Cache         CacheSnapshot   `json:"cache"`
-	Batch         BatchSnapshot   `json:"batch"`
-	Model         ModelSnapshot   `json:"model"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      uint64            `json:"requests"`
+	Failed        uint64            `json:"failed"`
+	QPS           float64           `json:"qps"`
+	Vertices      uint64            `json:"vertices"`
+	Latency       LatencySnapshot   `json:"latency"`
+	Cache         CacheSnapshot     `json:"cache"`
+	Batch         BatchSnapshot     `json:"batch"`
+	Admission     AdmissionSnapshot `json:"admission"`
+	Model         ModelSnapshot     `json:"model"`
 }
 
 // snapshot assembles the exported view; the server passes in the state
 // facts (cache occupancy, generation) metrics does not own.
-func (m *Metrics) snapshot(cacheLen, cacheCap int, generation uint64, epoch, graphVertices int) Snapshot {
+func (m *Metrics) snapshot(cacheLen, cacheCap int, generation uint64, epoch, graphVertices int, inFlight int64, maxInFlight int) Snapshot {
 	up := time.Since(m.start).Seconds()
 	req := m.requests.Load()
 	p50, p99, samples := m.quantiles()
@@ -152,6 +166,7 @@ func (m *Metrics) snapshot(cacheLen, cacheCap int, generation uint64, epoch, gra
 		Latency:       LatencySnapshot{P50Ms: p50, P99Ms: p99, Samples: samples},
 		Cache:         CacheSnapshot{Hits: hits, Misses: misses, HitRate: hitRate, Size: cacheLen, Capacity: cacheCap},
 		Batch:         bs,
+		Admission:     AdmissionSnapshot{InFlight: inFlight, MaxInFlight: maxInFlight, Shed: m.shed.Load(), Panics: m.panics.Load()},
 		Model:         ModelSnapshot{Generation: generation, Epoch: epoch, Swaps: m.swaps.Load()},
 	}
 }

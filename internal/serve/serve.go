@@ -44,6 +44,16 @@ type Config struct {
 	// MaxRequestVertices rejects single requests larger than this
 	// (default 1024).
 	MaxRequestVertices int
+	// MaxInFlight is the admission-control limit: requests beyond this many
+	// concurrently-served predictions are shed immediately with ErrOverloaded
+	// (HTTP 503) instead of queueing without bound behind the batcher.
+	// Default 1024; negative disables shedding.
+	MaxInFlight int
+	// RequestTimeout bounds how long one prediction may wait on batched
+	// inference (pure cache hits never wait and are exempt). Expired
+	// requests fail with context.DeadlineExceeded (HTTP 503). Default 5s;
+	// negative disables the deadline.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,8 +72,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestVertices == 0 {
 		c.MaxRequestVertices = 1024
 	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
 	return c
 }
+
+// ErrOverloaded sheds a request when MaxInFlight predictions are already
+// being served; HTTP callers map it to 503 with Retry-After.
+var ErrOverloaded = errors.New("serve: server overloaded")
 
 // modelState is one immutable serving generation: the model, its private
 // cache, and its lineage. Swaps publish a whole new state through one
@@ -82,11 +102,12 @@ type Server struct {
 	classes int
 	cfg     Config
 
-	state   atomic.Pointer[modelState]
-	batcher *Batcher
-	metrics *Metrics
-	mux     *http.ServeMux
-	closed  atomic.Bool
+	state    atomic.Pointer[modelState]
+	batcher  *Batcher
+	metrics  *Metrics
+	mux      *http.ServeMux
+	closed   atomic.Bool
+	inFlight atomic.Int64
 }
 
 // New builds a server for the model over the dataset and starts its
@@ -136,16 +157,25 @@ func (s *Server) Close() {
 // execBatch is the batcher's inference callback: one sparsity-aware gather
 // pass over the union of a batch's vertices under the current model state,
 // publishing every row into that state's cache and reporting the state's
-// generation.
-func (s *Server) execBatch(vertices []int) ([][]float64, []int, int, uint64, error) {
+// generation. A panicking inference is isolated here: it fails this batch's
+// requests with ErrInferencePanic and leaves the batcher loop (and every
+// other request) untouched.
+func (s *Server) execBatch(vertices []int) (rows [][]float64, classes []int, gathered int, gen uint64, err error) {
+	defer func() {
+		if e := recover(); e != nil {
+			s.metrics.panics.Add(1)
+			rows, classes, gathered, gen = nil, nil, 0, 0
+			err = fmt.Errorf("%w: %v", ErrInferencePanic, e)
+		}
+	}()
 	st := s.state.Load()
 	flat := make([]float64, len(vertices)*s.classes)
-	gathered, err := st.model.ProbabilitiesSubsetInto(flat, s.ds, vertices)
+	gathered, err = st.model.ProbabilitiesSubsetInto(flat, s.ds, vertices)
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
-	rows := make([][]float64, len(vertices))
-	classes := make([]int, len(vertices))
+	rows = make([][]float64, len(vertices))
+	classes = make([]int, len(vertices))
 	for i, v := range vertices {
 		rows[i] = flat[i*s.classes : (i+1)*s.classes]
 		classes[i] = argmax(rows[i])
@@ -172,6 +202,15 @@ func (s *Server) PredictInto(ctx context.Context, vertices []int, classes []int,
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
+	// Admission control: shed rather than queue once MaxInFlight predictions
+	// are already in the system. The gauge counts every request (including
+	// unlimited-mode servers) so /metrics can report live occupancy.
+	n := s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	if max := s.cfg.MaxInFlight; max > 0 && n > int64(max) {
+		s.metrics.shed.Add(1)
+		return 0, fmt.Errorf("%w: %d predictions in flight (limit %d)", ErrOverloaded, n-1, max)
+	}
 	if len(vertices) == 0 {
 		s.metrics.failed.Add(1)
 		return 0, fmt.Errorf("serve: %w: empty vertex set", sagnn.ErrInvalidVertices)
@@ -191,6 +230,7 @@ func (s *Server) PredictInto(ctx context.Context, vertices []int, classes []int,
 			len(classes), len(probs), len(vertices))
 	}
 	const maxAttempts = 3
+	var cancel context.CancelFunc
 	for attempt := 0; ; attempt++ {
 		st := s.state.Load()
 		bypassCache := attempt == maxAttempts-1
@@ -211,6 +251,12 @@ func (s *Server) PredictInto(ctx context.Context, vertices []int, classes []int,
 			// Pure cache hits are trivially consistent with st.
 			s.finishRequest(start, len(vertices), hits, 0)
 			return st.generation, nil
+		}
+		// Arm the per-request deadline only when the request must wait on a
+		// batch: pure cache hits stay allocation-free and never expire.
+		if d := s.cfg.RequestTimeout; d > 0 && cancel == nil {
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
 		}
 		rows, cls, gen, err := s.batcher.Do(ctx, misses)
 		if err != nil {
@@ -281,7 +327,8 @@ func (s *Server) SwapBytes(data []byte) (generation uint64, epoch int, err error
 // Metrics returns the current metrics snapshot.
 func (s *Server) Metrics() Snapshot {
 	st := s.state.Load()
-	return s.metrics.snapshot(st.cache.Len(), st.cache.Capacity(), st.generation, st.epoch, s.ds.G.NumVertices())
+	return s.metrics.snapshot(st.cache.Len(), st.cache.Capacity(), st.generation, st.epoch,
+		s.ds.G.NumVertices(), s.inFlight.Load(), s.cfg.MaxInFlight)
 }
 
 // predictRequest is the /predict body.
@@ -313,6 +360,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	probs := make([][]float64, len(req.Vertices))
 	gen, err := s.PredictInto(r.Context(), req.Vertices, classes, probs)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -358,13 +408,14 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusFor maps serving errors to HTTP statuses: request-shape problems
-// are the client's (400), shutdown is unavailability (503), anything else
-// is internal (500).
+// are the client's (400), shutdown / shedding / deadline expiry are
+// unavailability (503), anything else — including an isolated inference
+// panic — is internal (500).
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, sagnn.ErrInvalidVertices):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"sagnn/internal/comm"
 	"sagnn/internal/gcn"
@@ -71,7 +72,10 @@ func (c ModelConfig) variant() gcn.Variant {
 type SessionOption func(*sessionOptions)
 
 type sessionOptions struct {
-	callbacks []func(EpochResult) error
+	callbacks     []func(EpochResult) error
+	snapshotEvery int
+	maxRetries    int
+	backoff       time.Duration
 }
 
 // WithEpochCallback registers fn to run after every epoch of Session.Run
@@ -80,6 +84,30 @@ type sessionOptions struct {
 // callbacks run in registration order.
 func WithEpochCallback(fn func(EpochResult) error) SessionOption {
 	return func(o *sessionOptions) { o.callbacks = append(o.callbacks, fn) }
+}
+
+// WithAutoSnapshot makes Session.Run capture an in-memory checkpoint every
+// everyN successfully completed epochs (everyN ≤ 0 means after every
+// launch). The snapshot bounds how much work a fault can destroy: recovery
+// and cancellation roll back to the latest one. Snapshots are model-sized
+// (the weights), so the overhead is one weight-replica clone per interval —
+// measured in EXPERIMENTS.md.
+func WithAutoSnapshot(everyN int) SessionOption {
+	return func(o *sessionOptions) { o.snapshotEvery = everyN }
+}
+
+// WithRecovery makes Session.Run survive transient communication faults: on
+// a failed collective it rolls every rank back to the last auto-snapshot,
+// waits backoff (doubling per consecutive retry), and replays. Up to
+// maxRetries consecutive failed attempts are absorbed; the counter resets on
+// progress. Replay is bit-identical to an uninterrupted run once the fault
+// clears, because restoring a snapshot re-synchronizes every weight replica
+// and the full-batch epoch is deterministic.
+func WithRecovery(maxRetries int, backoff time.Duration) SessionOption {
+	return func(o *sessionOptions) {
+		o.maxRetries = maxRetries
+		o.backoff = backoff
+	}
 }
 
 // Session is steppable distributed training of one model over a DistGraph.
@@ -151,16 +179,28 @@ func (s *Session) Step() (EpochResult, error) {
 // stepN runs n consecutive epochs inside one collective launch under the
 // cluster's step lock, attributing their modeled time and traffic to this
 // session.
-func (s *Session) stepN(n int) (batch []EpochResult, err error) {
+func (s *Session) stepN(n int) ([]EpochResult, error) {
+	return s.stepCtx(context.Background(), n)
+}
+
+// stepCtx is stepN with cancellation: ctx cancellation (or any fault)
+// aborts the in-flight collective mid-epoch instead of waiting for the
+// launch to finish. Charges accrued before the abort are still attributed —
+// the modeled work happened — but no partial epoch results are recorded,
+// and the underlying trainer is left dirty until a checkpoint restore.
+func (s *Session) stepCtx(ctx context.Context, n int) (batch []EpochResult, err error) {
 	defer recoverToError(&err)
 	s.dg.cluster.mu.Lock()
 	defer s.dg.cluster.mu.Unlock()
 	world := s.dg.cluster.world
 	l0 := world.Ledger.Snapshot()
 	v0 := world.Stats().Snapshot()
-	batch = s.stepper.StepN(n)
+	batch, stepErr := s.stepper.StepNCtx(ctx, n)
 	s.spentLedger = s.spentLedger.Add(world.Ledger.Snapshot().Sub(l0))
 	s.spentVol = s.spentVol.Add(world.Stats().Snapshot().Sub(v0))
+	if stepErr != nil {
+		return nil, stepErr
+	}
 	s.history = append(s.history, batch...)
 	return batch, nil
 }
@@ -181,10 +221,15 @@ func (s *Session) Model() *Model {
 	return &Model{m: s.stepper.Model().Clone(), sage: s.cfg.SAGE}
 }
 
-// Run trains for up to the given number of epochs, checking ctx between
-// epochs and invoking any registered epoch callbacks. It returns the result
-// of the epochs actually run — also when stopped early by ctx cancellation
-// (err = ctx.Err()), a callback error, or ErrStopTraining (err = nil).
+// Run trains for up to the given number of epochs, invoking any registered
+// epoch callbacks. Cancelling ctx aborts even an in-flight epoch — every
+// rank unblocks mid-collective — and Run returns the completed prefix with
+// err = ctx.Err(). With WithRecovery, transient communication faults roll
+// back to the last auto-snapshot (WithAutoSnapshot sets the cadence) and
+// replay after an exponential backoff; the replayed losses are bit-identical
+// to an uninterrupted run once the fault clears. Callbacks may re-observe
+// replayed epochs after a rollback. ErrStopTraining from a callback ends the
+// run cleanly (err = nil).
 func (s *Session) Run(ctx context.Context, epochs int) (*TrainResult, error) {
 	if epochs < 1 {
 		return nil, fmt.Errorf("sagnn: %d epochs", epochs)
@@ -193,6 +238,40 @@ func (s *Session) Run(ctx context.Context, epochs int) (*TrainResult, error) {
 	vol0 := s.spentVol
 	runHist := make([]EpochResult, 0, epochs)
 	var runErr error
+
+	recovery := s.opts.maxRetries > 0
+	snapEvery := s.opts.snapshotEvery
+	// A rollback point exists whenever something can abort mid-epoch: an
+	// injected fault under recovery, or a cancellable context. It lets the
+	// session rewind to the last completed launch instead of being stuck
+	// dirty (gcn.ErrInconsistent) after an abort.
+	var lastSnap *Checkpoint
+	if recovery || snapEvery > 0 || ctx.Done() != nil {
+		lastSnap = s.Snapshot()
+	}
+	sinceSnap := 0 // epochs completed since lastSnap
+	retries := 0
+
+	// rollback restores the last snapshot and drops the replayed-over tail
+	// of this run's history (Restore trims the session history the same way).
+	rollback := func() error {
+		if lastSnap == nil {
+			return nil
+		}
+		if err := s.Restore(lastSnap); err != nil {
+			return err
+		}
+		trimmed := runHist[:0]
+		for _, r := range runHist {
+			if r.Epoch < lastSnap.Epoch() {
+				trimmed = append(trimmed, r)
+			}
+		}
+		runHist = trimmed
+		sinceSnap = 0
+		return nil
+	}
+
 loop:
 	for len(runHist) < epochs {
 		if err := ctx.Err(); err != nil {
@@ -201,21 +280,60 @@ loop:
 		}
 		// With no per-epoch callbacks, batch the remaining epochs through a
 		// single collective launch (one goroutine set, one accounting
-		// snapshot pair). A cancellable context caps the batch so
-		// cancellation is still honored between launches; callbacks force
-		// epoch-at-a-time stepping.
+		// snapshot pair). A cancellable context or enabled recovery caps the
+		// batch so cancellation/rollback granularity stays bounded; callbacks
+		// force epoch-at-a-time stepping; an auto-snapshot cadence aligns
+		// launches to its boundaries.
 		n := 1
 		if len(s.opts.callbacks) == 0 {
 			n = epochs - len(runHist)
-			if ctx.Done() != nil && n > 16 {
+			if (ctx.Done() != nil || recovery) && n > 16 {
 				n = 16
 			}
 		}
-		batch, err := s.stepN(n)
-		runHist = append(runHist, batch...)
+		if snapEvery > 0 {
+			if room := snapEvery - sinceSnap; n > room {
+				n = room
+			}
+		}
+		batch, err := s.stepCtx(ctx, n)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// Cancelled mid-epoch: rewind to the last completed launch so
+				// the session stays usable, and report the cancellation.
+				if rbErr := rollback(); rbErr != nil {
+					runErr = rbErr
+					break
+				}
+				runErr = cerr
+				break
+			}
+			if recovery && retries < s.opts.maxRetries && lastSnap != nil {
+				retries++
+				if s.opts.backoff > 0 {
+					time.Sleep(s.opts.backoff << (retries - 1))
+				}
+				if rbErr := rollback(); rbErr != nil {
+					runErr = rbErr
+					break
+				}
+				continue
+			}
+			// Unrecovered fault: still rewind if possible (a later manual
+			// retry can resume), then surface the typed error.
+			if rbErr := rollback(); rbErr != nil {
+				runErr = rbErr
+				break
+			}
 			runErr = err
 			break
+		}
+		retries = 0
+		runHist = append(runHist, batch...)
+		sinceSnap += len(batch)
+		if lastSnap != nil && (snapEvery <= 0 || sinceSnap >= snapEvery) {
+			lastSnap = s.Snapshot()
+			sinceSnap = 0
 		}
 		for _, res := range batch {
 			for _, cb := range s.opts.callbacks {
