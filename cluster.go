@@ -125,6 +125,16 @@ type DistOpts struct {
 	// selects the minimum modeled epoch cost under this mode, and the
 	// candidate tables price both modes so the decision is auditable.
 	Exec ExecMode
+	// VerifyPlans runs the static plan verifier (distmm.Verify) on the
+	// compiled communication schedule before Distribute returns: message
+	// matching, deadlock freedom, overlap soundness, and layout consistency
+	// are proved over every rank's instruction stream, and a *distmm.
+	// VerifyError is returned instead of an engine if any check fails. The
+	// candidate sweeps behind AlgorithmAuto and Cluster.Estimate always
+	// verify; this opt-in extends the same guarantee to explicitly chosen
+	// algorithms. Verification walks the plan once and allocates only
+	// bounded bookkeeping, so it is cheap next to plan compilation.
+	VerifyPlans bool
 }
 
 // DistGraph is a dataset distributed across a cluster: the permuted
@@ -243,6 +253,11 @@ func (c *Cluster) Distribute(ds *Dataset, opts DistOpts) (*DistGraph, error) {
 	}
 	prep := prepare(ds, opts.Partitioner, k)
 	engine := buildEngine(c.world, opts.Algorithm, rep, prep)
+	if opts.VerifyPlans {
+		if err := distmm.Verify(engine.Plan()); err != nil {
+			return nil, err
+		}
+	}
 	engine.SetExecMode(opts.Exec)
 	cand := priceCandidate(opts.Algorithm, engine.Plan(), c.world.Params, widths)
 	cand.Selected = true

@@ -1,0 +1,201 @@
+// Command sagnnlint runs the repo's custom analyzer suite
+// (sagnn/internal/analysis: steadyalloc, nopanic, commphase, nosleep)
+// under the `go vet` unit-checker protocol, with no dependency on
+// golang.org/x/tools.
+//
+// Two ways to invoke it:
+//
+//	go vet -vettool=$(which sagnnlint) ./...   # the protocol directly
+//	sagnnlint ./...                            # re-execs go vet for you
+//
+// In protocol mode go vet hands the tool one JSON config file per
+// package: the file set, the import map, and the compiled export data of
+// every dependency. The tool type-checks the package from that config,
+// runs the suite, prints findings to stderr, and exits non-zero when any
+// survive — so a finding fails the build exactly like a vet diagnostic.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"sagnn/internal/analysis"
+)
+
+// selfID hashes the running executable for the -V=full build-cache key.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:16])
+}
+
+// vetConfig is the unit-checker configuration go vet writes for each
+// package (the subset of fields the suite needs).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+	// The -V=full handshake: go vet fingerprints the tool for its build
+	// cache, and for a "devel" tool it requires a trailing buildID= field —
+	// hashing our own binary keys the cache to the analyzer code, so
+	// editing an analyzer invalidates cached vet results.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), selfID())
+			return
+		}
+	}
+	// The -flags handshake: the tool advertises its flags as JSON.
+	for _, a := range args {
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	// Standalone mode: hand the package patterns to go vet with ourselves
+	// as the vettool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sagnnlint:", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "sagnnlint:", err)
+		os.Exit(1)
+	}
+}
+
+// unitcheck analyzes one package from its vet config and returns the
+// process exit code.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sagnnlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sagnnlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// go vet requires the vetx (facts) file regardless of outcome; the
+	// suite carries no cross-package facts, so it is a placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("sagnnlint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "sagnnlint:", err)
+			return 1
+		}
+	}
+	// Dependencies are visited only for facts; and packages outside this
+	// module hold none of the invariants the suite enforces.
+	if cfg.VetxOnly || !inModule(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "sagnnlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the config: the import map canonicalizes the
+	// path, and the compiler's export data for it is read from the file go
+	// vet listed.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				path = importPath
+			}
+			return compImp.Import(path)
+		}),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "sagnnlint:", err)
+		return 1
+	}
+
+	findings := analysis.RunPackage(fset, files, pkg, info, analysis.All)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// inModule reports whether the import path belongs to this module — the
+// only code the suite's invariants apply to.
+func inModule(path string) bool {
+	return path == "sagnn" || strings.HasPrefix(path, "sagnn/")
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

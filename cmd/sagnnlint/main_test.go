@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean builds sagnnlint and runs it over the whole module
+// through the go vet protocol: the repo must hold its own invariants
+// (zero-alloc steady state, typed errors in the comm stack, charged
+// phases, centralized backoff), with every deliberate exception carrying
+// a lint:ignore directive that states its reason.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "sagnnlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/sagnnlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sagnnlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("sagnnlint findings:\n%s", out)
+	}
+}

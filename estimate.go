@@ -37,6 +37,11 @@ type Candidate struct {
 	// epoch, exact to the byte (equal to what comm.Stats would measure).
 	MaxSentMB float64
 	AvgSentMB float64
+	// Sites counts the plan instruction sites (summed over ranks, and over
+	// every per-width compile for the 2D kernels) that the static verifier
+	// proved safe before this row was priced: the sweep runs distmm.Verify
+	// on every compiled plan and refuses to price one that fails.
+	Sites int
 	// Selected marks the minimum-modeled-cost trainable candidate.
 	Selected bool
 	// Skipped is non-empty when the candidate cannot run at this process
@@ -131,6 +136,7 @@ func priceCandidate(alg Algorithm, pl *distmm.Plan, params machine.Params, width
 		Breakdown:      cost.Breakdown(),
 		MaxSentMB:      maxMB,
 		AvgSentMB:      avgMB,
+		Sites:          pl.Sites(),
 	}
 }
 
@@ -157,11 +163,14 @@ func preparedFor(cache map[int]*prepared, ds *Dataset, pt Partitioner, k int) *p
 // sweepTrainable compiles and prices every trainable (1D/1.5D) candidate
 // on world: the shared candidate sweep behind Distribute(AlgorithmAuto)
 // and Estimate, so the two can never disagree on feasibility or selection.
-// It returns the table, the index of the minimum-modeled-cost row (first
-// candidate wins ties; −1 when none is feasible), and the engine and
-// prepared data per row (nil on skipped rows).
+// Every compiled plan is statically verified before it is priced — a plan
+// that fails Verify is a compiler bug, and the sweep surfaces it as a hard
+// error rather than silently pricing (or worse, later running) a malformed
+// schedule. It returns the table, the index of the minimum-modeled-cost
+// row (first candidate wins ties; −1 when none is feasible), and the
+// engine and prepared data per row (nil on skipped rows).
 func sweepTrainable(world *comm.World, ds *Dataset, opts DistOpts, widths []int,
-	preps map[int]*prepared) (cands []Candidate, best int, engines []distmm.Engine, rowPreps []*prepared) {
+	preps map[int]*prepared) (cands []Candidate, best int, engines []distmm.Engine, rowPreps []*prepared, err error) {
 	p := world.P
 	best = -1
 	bestCost := 0.0
@@ -181,6 +190,9 @@ func sweepTrainable(world *comm.World, ds *Dataset, opts DistOpts, widths []int,
 		}
 		prep := preparedFor(preps, ds, opts.Partitioner, p/spec.C)
 		engine := buildEngine(world, alg, spec.C, prep)
+		if verr := distmm.Verify(engine.Plan()); verr != nil {
+			return nil, -1, nil, nil, verr
+		}
 		cand := priceCandidate(alg, engine.Plan(), world.Params, widths)
 		if sec := modeSeconds(cand, opts.Exec); best < 0 || sec < bestCost {
 			best, bestCost = len(cands), sec
@@ -191,7 +203,7 @@ func sweepTrainable(world *comm.World, ds *Dataset, opts DistOpts, widths []int,
 	if best >= 0 {
 		cands[best].Selected = true
 	}
-	return cands, best, engines, rowPreps
+	return cands, best, engines, rowPreps, nil
 }
 
 // distributeAuto is Distribute with Algorithm: AlgorithmAuto: one shared
@@ -205,7 +217,10 @@ func (c *Cluster) distributeAuto(ds *Dataset, opts DistOpts) (*DistGraph, error)
 	if err != nil {
 		return nil, err
 	}
-	cands, best, engines, rowPreps := sweepTrainable(c.world, ds, opts, widths, make(map[int]*prepared))
+	cands, best, engines, rowPreps, err := sweepTrainable(c.world, ds, opts, widths, make(map[int]*prepared))
+	if err != nil {
+		return nil, err
+	}
 	if best < 0 {
 		return nil, fmt.Errorf("sagnn: no feasible algorithm candidate for %d vertices on %d processes", ds.G.NumVertices(), c.p)
 	}
@@ -241,8 +256,15 @@ func (c *Cluster) Estimate(ds *Dataset, opts DistOpts) ([]Candidate, error) {
 	// volumes are identical, and the cluster's live world accretes nothing.
 	world := comm.NewWorld(c.p, c.world.Params)
 	preps := make(map[int]*prepared)
-	cands, _, _, _ := sweepTrainable(world, ds, opts, widths, preps)
-	return append(cands, estimate2D(world, ds, opts, widths, preps)...), nil
+	cands, _, _, _, err := sweepTrainable(world, ds, opts, widths, preps)
+	if err != nil {
+		return nil, err
+	}
+	twoD, err := estimate2D(world, ds, opts, widths, preps)
+	if err != nil {
+		return nil, err
+	}
+	return append(cands, twoD...), nil
 }
 
 // widthCount is one distinct epoch width and its multiplicity.
@@ -266,8 +288,9 @@ func distinctWidths(widths []int) []widthCount {
 
 // estimate2D prices the two 2D SUMMA kernels. 2D plans pin the dense width
 // at compile time (the width is split across grid columns), so each
-// distinct epoch width compiles its own plan.
-func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, preps map[int]*prepared) []Candidate {
+// distinct epoch width compiles — and statically verifies — its own plan;
+// a Verify failure is a compiler bug and surfaces as a hard error.
+func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, preps map[int]*prepared) ([]Candidate, error) {
 	out := make([]Candidate, 0, 2)
 	for _, spec := range distmm.EnumerateCandidates(world.P) {
 		if !spec.TwoD {
@@ -285,6 +308,7 @@ func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, pre
 		prep := preparedFor(preps, ds, opts.Partitioner, spec.C)
 		var cost, overlap *distmm.Cost
 		per := make([]int64, world.P)
+		sites := 0
 		fail := ""
 		// One compile per distinct width (the block/NnzCols structure work
 		// dominates and is width-independent), weighted by multiplicity.
@@ -300,6 +324,10 @@ func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, pre
 				fail = err.Error()
 				break
 			}
+			if verr := distmm.Verify(e.Plan()); verr != nil {
+				return nil, verr
+			}
+			sites += e.Plan().Sites()
 			one := e.Plan().Cost(world.Params, f.width)
 			oneOvl := e.Plan().CostWith(world.Params, f.width, distmm.ExecOverlap)
 			for i := 0; i < f.count; i++ {
@@ -323,7 +351,8 @@ func estimate2D(world *comm.World, ds *Dataset, opts DistOpts, widths []int, pre
 			Breakdown:      cost.Breakdown(),
 			MaxSentMB:      maxMB,
 			AvgSentMB:      avgMB,
+			Sites:          sites,
 		})
 	}
-	return out
+	return out, nil
 }

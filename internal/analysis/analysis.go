@@ -1,0 +1,210 @@
+// Package analysis is a dependency-free skeleton of the go/analysis
+// vocabulary — Analyzer, Pass, Finding — plus the repo's analyzer suite.
+// The build environment bakes in no golang.org/x/tools, so the framework
+// is rebuilt on the stdlib go/ast + go/types surface; cmd/sagnnlint wraps
+// it in the `go vet -vettool` unit-checker protocol so the suite runs
+// exactly like an upstream vet analyzer would.
+//
+// Findings can be suppressed with staticcheck-style directives:
+//
+//	//lint:ignore <check>[,<check>...] <reason>       same or next line
+//	//lint:file-ignore <check>[,<check>...] <reason>  whole file
+//
+// A reason is mandatory — a directive without one is itself reported.
+// Findings in _test.go files are dropped: the invariants the suite
+// enforces (zero-alloc steady state, typed errors over panics, charged
+// phases, centralized backoff) are production-path contracts.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check over a type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in //lint:ignore directives.
+	Name string
+	// Doc states the invariant the check enforces.
+	Doc string
+	// Run reports findings on the pass.
+	Run func(*Pass)
+}
+
+// All is the repo's analyzer suite in deterministic order.
+var All = []*Analyzer{Commphase, Nopanic, Nosleep, Steadyalloc}
+
+// A Pass connects one Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one diagnostic: which check fired, where, and why.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunPackage applies analyzers to one type-checked package and returns the
+// surviving findings sorted by position: ignore directives are honored,
+// malformed directives are themselves reported, and _test.go findings are
+// dropped.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		p := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			report:   func(f Finding) { raw = append(raw, f) },
+		}
+		a.Run(p)
+	}
+	ig := collectIgnores(fset, files)
+	var out []Finding
+	for _, f := range ig.malformed {
+		if !strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	for _, f := range raw {
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") || ig.suppressed(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ignoreSet is the parsed //lint: directives of one package.
+type ignoreSet struct {
+	// lines maps filename to line number to the checks ignored on that
+	// line: a directive trailing code covers its own line; a directive on
+	// a line of its own covers the line below it.
+	lines map[string]map[int][]string
+	// fileWide maps filename to checks ignored across the whole file.
+	fileWide  map[string][]string
+	malformed []Finding
+}
+
+// codeStarts records, per file, the earliest position of a non-comment
+// node starting on each line — how a directive tells "trailing code" from
+// "line of its own".
+func codeStarts(fset *token.FileSet, f *ast.File) map[int]token.Pos {
+	starts := make(map[int]token.Pos)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		line := fset.Position(n.Pos()).Line
+		if p, ok := starts[line]; !ok || n.Pos() < p {
+			starts[line] = n.Pos()
+		}
+		return true
+	})
+	return starts
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{
+		lines:    make(map[string]map[int][]string),
+		fileWide: make(map[string][]string),
+	}
+	for _, f := range files {
+		starts := codeStarts(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				var fileWide bool
+				switch {
+				case strings.HasPrefix(text, "lint:file-ignore"):
+					text, fileWide = strings.TrimPrefix(text, "lint:file-ignore"), true
+				case strings.HasPrefix(text, "lint:ignore"):
+					text = strings.TrimPrefix(text, "lint:ignore")
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					ig.malformed = append(ig.malformed, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "malformed lint directive: need checks and a reason",
+					})
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				if fileWide {
+					ig.fileWide[pos.Filename] = append(ig.fileWide[pos.Filename], checks...)
+					continue
+				}
+				covered := pos.Line + 1
+				if p, ok := starts[pos.Line]; ok && p < c.Pos() {
+					covered = pos.Line // trailing directive covers its own line
+				}
+				if ig.lines[pos.Filename] == nil {
+					ig.lines[pos.Filename] = make(map[int][]string)
+				}
+				ig.lines[pos.Filename][covered] = append(ig.lines[pos.Filename][covered], checks...)
+			}
+		}
+	}
+	return ig
+}
+
+func matches(checks []string, analyzer string) bool {
+	for _, c := range checks {
+		if c == analyzer || c == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func (ig *ignoreSet) suppressed(f Finding) bool {
+	if matches(ig.fileWide[f.Pos.Filename], f.Analyzer) {
+		return true
+	}
+	return matches(ig.lines[f.Pos.Filename][f.Pos.Line], f.Analyzer)
+}

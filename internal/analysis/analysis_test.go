@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// runOn type-checks one source file as package path (so the path-scoped
+// analyzers see the package they believe they are in) and runs analyzers.
+func runOn(t *testing.T, path, filename, src string, as []*Analyzer) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunPackage(fset, []*ast.File{f}, pkg, info, as)
+}
+
+// countMsg returns how many findings contain the substring.
+func countMsg(fs []Finding, sub string) int {
+	n := 0
+	for _, f := range fs {
+		if strings.Contains(f.Message, sub) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSteadyalloc(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+type buf struct{ data []float64 }
+
+// CopyInto is steady state by naming convention.
+func (b *buf) CopyInto(dst []float64) {
+	if len(dst) != len(b.data) {
+		// Validation paths may allocate their diagnostics.
+		panic(fmt.Sprintf("bad size %d", len(dst)))
+	}
+	if len(dst) == 0 {
+		fmt.Sprintf("allowed: guard returns") // skipped: body terminates
+		return
+	}
+	tmp := make([]float64, 4)          // finding: make
+	tmp = append(tmp, 1)               // finding: append
+	_ = fmt.Sprintf("x %d", len(tmp))  // finding: fmt.Sprintf
+	f := func() {}                     // finding: closure
+	f()
+	go f()                             // finding: go
+	q := &buf{}                        // finding: &composite
+	_ = q
+	s := []int{1, 2}                   // finding: slice literal
+	_ = s
+	copy(dst, b.data)
+}
+
+//sagnn:steadystate hot path despite the name.
+func hot(dst []float64) {
+	_ = fmt.Sprint(len(dst)) // finding: fmt.Sprint
+}
+
+// cold may allocate freely.
+func cold() []float64 { return make([]float64, 8) }
+`
+	fs := runOn(t, "p", "src.go", src, []*Analyzer{Steadyalloc})
+	for want, n := range map[string]int{
+		"allocating builtin make":   1,
+		"allocating builtin append": 1,
+		"fmt.Sprintf":               1,
+		"closure":                   1,
+		"goroutine":                 1,
+		"address of a composite":    1,
+		"slice or map literal":      1,
+		"fmt.Sprint\n":              0, // checked via total below
+	} {
+		if want == "fmt.Sprint\n" {
+			continue
+		}
+		if got := countMsg(fs, want); got != n {
+			t.Errorf("%q: got %d findings, want %d\nall: %v", want, got, n, fs)
+		}
+	}
+	if got := countMsg(fs, "steady-state hot"); got != 1 {
+		t.Errorf("sagnn:steadystate directive: got %d findings, want 1\nall: %v", got, fs)
+	}
+	if got := countMsg(fs, "cold"); got != 0 {
+		t.Errorf("cold function flagged: %v", fs)
+	}
+	if got := countMsg(fs, "guard returns"); got != 0 {
+		t.Errorf("terminating guard body not exempted: %v", fs)
+	}
+}
+
+func TestNopanic(t *testing.T) {
+	src := `package comm
+
+import "fmt"
+
+func undocumented(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("bad %d", x)) // finding
+	}
+}
+
+// documented panics when x is negative: legacy misuse wrapper.
+func documented(x int) {
+	if x < 0 {
+		panic("bad")
+	}
+}
+
+func rethrow() {
+	if p := recover(); p != nil {
+		panic(p) // re-panic of a recovered value: allowed
+	}
+}
+`
+	fs := runOn(t, "sagnn/internal/comm", "src.go", src, []*Analyzer{Nopanic})
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "undocumented") {
+		t.Errorf("want exactly the undocumented panic flagged, got %v", fs)
+	}
+	// The same source outside the scoped packages is clean.
+	if fs := runOn(t, "sagnn/internal/gcn", "src.go", strings.Replace(src, "package comm", "package gcn", 1), []*Analyzer{Nopanic}); len(fs) != 0 {
+		t.Errorf("nopanic fired outside its package scope: %v", fs)
+	}
+}
+
+func TestCommphase(t *testing.T) {
+	src := `package p
+
+type rank struct{}
+
+func (r *rank) Send(dst int, phase string) {}
+
+func charge(phase string, sec float64) {}
+
+const unnamed = ""
+
+func use(r *rank) {
+	r.Send(0, "")          // finding
+	r.Send(1, unnamed)     // finding: named constant, still empty
+	r.Send(2, "bcast")     // ok
+	charge("", 1.0)        // finding
+	charge("local", 1.0)   // ok
+	s := ""
+	charge(s, 1.0)         // ok: not a constant (runtime value)
+}
+`
+	fs := runOn(t, "p", "src.go", src, []*Analyzer{Commphase})
+	if len(fs) != 3 {
+		t.Errorf("want 3 empty-phase findings, got %v", fs)
+	}
+}
+
+func TestNosleep(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func wait() {
+	time.Sleep(time.Second) // finding
+	_ = time.Now()
+}
+`
+	fs := runOn(t, "p", "src.go", src, []*Analyzer{Nosleep})
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "time.Sleep") {
+		t.Errorf("want the sleep flagged, got %v", fs)
+	}
+	if fs := runOn(t, "sagnn/internal/retry", "src.go", src, []*Analyzer{Nosleep}); len(fs) != 0 {
+		t.Errorf("nosleep fired inside the retry package: %v", fs)
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func a() {
+	//lint:ignore nosleep next-line suppression works
+	time.Sleep(time.Second)
+	time.Sleep(time.Second) //lint:ignore nosleep same-line suppression works
+	time.Sleep(time.Second) // finding: no directive
+	//lint:ignore nosleep
+	time.Sleep(time.Second) // finding survives + malformed directive finding
+}
+`
+	fs := runOn(t, "p", "src.go", src, []*Analyzer{Nosleep})
+	if got := countMsg(fs, "time.Sleep"); got != 2 {
+		t.Errorf("want 2 surviving sleep findings, got %v", fs)
+	}
+	if got := countMsg(fs, "malformed"); got != 1 {
+		t.Errorf("want 1 malformed-directive finding, got %v", fs)
+	}
+
+	fileIgnore := `package p
+
+//lint:file-ignore nosleep this file simulates wall-clock time
+
+import "time"
+
+func a() { time.Sleep(time.Second) }
+func b() { time.Sleep(time.Second) }
+`
+	if fs := runOn(t, "p", "src.go", fileIgnore, []*Analyzer{Nosleep}); len(fs) != 0 {
+		t.Errorf("file-ignore did not suppress: %v", fs)
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func helper() { time.Sleep(time.Millisecond) }
+`
+	if fs := runOn(t, "p", "src_test.go", src, []*Analyzer{Nosleep}); len(fs) != 0 {
+		t.Errorf("findings in _test.go files must be dropped, got %v", fs)
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Commphase enforces ledger attribution: the machine-time ledger drops
+// charges carried by an empty phase tag, so passing a constant "" to a
+// `phase string` parameter silently un-accounts communication or compute
+// time. The overlap executor does this on purpose at a handful of sites
+// (it pre-settles each stage's charges), and those carry lint:ignore
+// directives stating so; everywhere else an empty phase is a lost charge.
+var Commphase = &Analyzer{
+	Name: "commphase",
+	Doc: "flag constant empty strings passed to `phase string` parameters; " +
+		"an empty phase tag suppresses the machine-time charge",
+	Run: runCommphase,
+}
+
+func runCommphase(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || tv.IsType() {
+				return true // conversion, not a call
+			}
+			sig, ok := tv.Type.(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i, arg := range call.Args {
+				if i >= sig.Params().Len() {
+					break
+				}
+				param := sig.Params().At(i)
+				if sig.Variadic() && i == sig.Params().Len()-1 {
+					break // a variadic tail is never the phase parameter
+				}
+				if param.Name() != "phase" {
+					continue
+				}
+				if basic, ok := param.Type().Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+					continue
+				}
+				av, ok := p.Info.Types[arg]
+				if !ok || av.Value == nil || av.Value.Kind() != constant.String {
+					continue
+				}
+				if constant.StringVal(av.Value) == "" {
+					p.Reportf(arg.Pos(), "empty phase tag suppresses the machine-time charge; name the phase (or lint:ignore with the reason the charge is settled elsewhere)")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nopanic enforces the typed-error contract of the communication stack: in
+// the packages whose failures must surface as *comm.RankError /
+// *distmm.VerifyError / typed serve errors, a bare panic hides a fault
+// from the abort protocol and the recovery loop. Two escapes stay legal:
+// re-panicking a recovered value (panic of a bare identifier, how Await
+// re-throws worker panics), and functions whose doc comment documents the
+// panic — the legacy misuse wrappers the roadmap keeps for compatibility.
+var Nopanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "flag undocumented panics in sagnn/internal/{comm,distmm,serve}; " +
+		"failures there must be typed errors, not panics",
+	Run: runNopanic,
+}
+
+// nopanicPkgs are the packages bound by the typed-error contract.
+var nopanicPkgs = map[string]bool{
+	"sagnn/internal/comm":   true,
+	"sagnn/internal/distmm": true,
+	"sagnn/internal/serve":  true,
+}
+
+func runNopanic(p *Pass) {
+	if !nopanicPkgs[p.Pkg.Path()] {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			documented := fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !p.isBuiltin(call, "panic") {
+					return true
+				}
+				if documented {
+					return true
+				}
+				if len(call.Args) == 1 {
+					if id, ok := call.Args[0].(*ast.Ident); ok {
+						// Re-panic of a recovered value — but only when the
+						// identifier is a plain variable, not a constant
+						// message smuggled through a name.
+						if _, isVar := p.Info.Uses[id].(*types.Var); isVar {
+							return true
+						}
+					}
+				}
+				p.Reportf(call.Pos(), "undocumented panic in %s.%s: return a typed error, or document the panic contract in the function comment", p.Pkg.Name(), fd.Name.Name)
+				return true
+			})
+		}
+	}
+}

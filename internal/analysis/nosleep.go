@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nosleep keeps retry timing centralized: a naked time.Sleep in a retry or
+// wait path ignores context cancellation and re-derives backoff arithmetic
+// ad hoc. Production code must go through sagnn/internal/retry (capped
+// exponential backoff, context-aware sleep); only that package may call
+// time.Sleep directly.
+var Nosleep = &Analyzer{
+	Name: "nosleep",
+	Doc: "flag direct time.Sleep calls outside sagnn/internal/retry; use " +
+		"retry.Sleep / retry.Backoff so waits honor cancellation",
+	Run: runNosleep,
+}
+
+func runNosleep(p *Pass) {
+	if p.Pkg.Path() == "sagnn/internal/retry" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Sleep" {
+				return true
+			}
+			p.Reportf(call.Pos(), "naked time.Sleep: use sagnn/internal/retry (context-aware, capped backoff) or lint:ignore with the reason")
+			return true
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Steadyalloc enforces the repo's zero-allocation steady-state contract:
+// functions whose name ends in "Into" (the pre-allocated-destination
+// convention of comm and distmm) and functions marked //sagnn:steadystate
+// must not contain allocating constructs on their hot path. Validation
+// blocks that terminate early (return, panic, break, continue) and the
+// arguments of panic calls are exempt — misuse paths may allocate their
+// diagnostics; the steady state may not.
+var Steadyalloc = &Analyzer{
+	Name: "steadyalloc",
+	Doc: "flag allocating constructs (make, new, append, fmt.Sprintf and " +
+		"friends, errors.New, closures, go statements, &composite and " +
+		"slice/map literals) in *Into and //sagnn:steadystate functions",
+	Run: runSteadyalloc,
+}
+
+// allocFuncs are call targets that always allocate their result.
+var allocFuncs = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+	"errors.New":   true,
+}
+
+func runSteadyalloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !steadyStateFunc(fd) {
+				continue
+			}
+			checkSteadyBody(p, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+// steadyStateFunc reports whether fd is bound by the zero-alloc contract.
+// The //sagnn:steadystate marker is a directive comment, which CommentGroup.
+// Text strips, so the raw comment list is scanned.
+func steadyStateFunc(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Into") {
+		return true
+	}
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//sagnn:steadystate") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkSteadyBody(p *Pass, fname string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			// A guard whose body leaves the function (or the loop) is a
+			// misuse/error path, not steady state: skip the body but keep
+			// checking the condition and any else branch.
+			if p.terminatesEarly(n.Body) {
+				if n.Init != nil {
+					checkSteadyBody(p, fname, &ast.BlockStmt{List: []ast.Stmt{n.Init}})
+				}
+				ast.Inspect(n.Cond, func(m ast.Node) bool { return steadyNode(p, fname, m) })
+				if n.Else != nil {
+					ast.Inspect(n.Else, func(m ast.Node) bool { return steadyNode(p, fname, m) })
+				}
+				return false
+			}
+		}
+		return steadyNode(p, fname, n)
+	})
+}
+
+// steadyNode flags one allocating node; it returns false to prune subtrees
+// (panic arguments) from the walk.
+func steadyNode(p *Pass, fname string, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if p.isBuiltin(n, "panic") {
+			return false // diagnostics on the way out may allocate
+		}
+		for _, b := range []string{"make", "new", "append"} {
+			if p.isBuiltin(n, b) {
+				p.Reportf(n.Pos(), "steady-state %s calls allocating builtin %s", fname, b)
+				return true
+			}
+		}
+		if name := p.calleeFullName(n); allocFuncs[name] {
+			p.Reportf(n.Pos(), "steady-state %s calls allocating %s", fname, name)
+		}
+	case *ast.FuncLit:
+		p.Reportf(n.Pos(), "steady-state %s builds a closure (allocates)", fname)
+		return false
+	case *ast.GoStmt:
+		p.Reportf(n.Pos(), "steady-state %s spawns a goroutine (allocates)", fname)
+	case *ast.UnaryExpr:
+		if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+			p.Reportf(cl.Pos(), "steady-state %s takes the address of a composite literal (allocates)", fname)
+			return false
+		}
+	case *ast.CompositeLit:
+		if tv, ok := p.Info.Types[ast.Expr(n)]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(n.Pos(), "steady-state %s builds a slice or map literal (allocates)", fname)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isBuiltin reports whether call invokes the named predeclared builtin.
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// calleeFullName resolves a call's target to its package-qualified name
+// ("fmt.Sprintf"), or "" when the callee is not a named function.
+func (p *Pass) calleeFullName(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// terminatesEarly reports whether a block's last statement leaves the
+// function or the enclosing loop.
+func (p *Pass) terminatesEarly(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			return p.isBuiltin(call, "panic")
+		}
+	}
+	return false
+}

@@ -23,9 +23,10 @@ func newBarrier(p int) *barrier {
 }
 
 // wait blocks until all p parties have called wait for the current round,
-// or unwinds if the barrier is aborted first. A waiter whose round completed
-// before the abort proceeds normally — the abort only kills rounds that can
-// no longer fill.
+// or unwinds if the barrier is aborted first — the unwind is an abortPanic
+// panic that Run recovers into a typed *RankError. A waiter whose round
+// completed before the abort proceeds normally — the abort only kills
+// rounds that can no longer fill.
 func (b *barrier) wait() {
 	if b.p == 1 {
 		return

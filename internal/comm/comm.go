@@ -41,6 +41,13 @@ import (
 	"sagnn/internal/machine"
 )
 
+// MailboxDepth is the per-(src,dst) eager-send buffering: a sender never
+// blocks until this many messages are in flight to a single receiver.
+// Exported so the static plan verifier (distmm.Verify) can prove a compiled
+// schedule's per-pair send bursts fit the buffering — the premise under
+// which sends are modeled as non-blocking in the happens-before analysis.
+const MailboxDepth = 64
+
 // message is a tagged point-to-point payload.
 type message struct {
 	tag    int
@@ -82,6 +89,8 @@ type World struct {
 }
 
 // NewWorld creates a world of p ranks with the given machine parameters.
+// Panics on a non-positive p: a construction-time misuse, not a runtime
+// failure.
 func NewWorld(p int, params machine.Params) *World {
 	if p <= 0 {
 		panic(fmt.Sprintf("comm: world size %d", p))
@@ -100,7 +109,7 @@ func NewWorld(p int, params machine.Params) *World {
 	for d := range w.mail {
 		w.mail[d] = make([]chan message, p)
 		for s := range w.mail[d] {
-			w.mail[d][s] = make(chan message, 64)
+			w.mail[d][s] = make(chan message, MailboxDepth)
 		}
 	}
 	members := make([]int, p)
@@ -118,7 +127,8 @@ func (w *World) Stats() *Stats { return w.stats }
 func (w *World) WorldGroup() *Group { return w.world }
 
 // NewGroup creates a communicator group over the given world ranks. Groups
-// must be created before Run starts (they are shared state).
+// must be created before Run starts (they are shared state). Panics on
+// out-of-range or duplicate members: construction-time misuse.
 func (w *World) NewGroup(members []int) *Group {
 	idx := make(map[int]int, len(members))
 	for i, m := range members {
@@ -200,8 +210,9 @@ func (r *Rank) CommFactor() float64 { return r.w.degrade.Factor(r.ID) }
 // times.
 func (r *Rank) ChargeCompute(phase string, sec float64) { r.chargeTime(phase, sec) }
 
-// sendMsg enqueues m for dst, unwinding if the world aborts while the
-// mailbox is full. The fast path is a plain buffered-channel send.
+// sendMsg enqueues m for dst, unwinding (an abortPanic panic, recovered by
+// Run) if the world aborts while the mailbox is full. The fast path is a
+// plain buffered-channel send.
 func (w *World) sendMsg(dst, src int, m message) {
 	select {
 	case w.mail[dst][src] <- m:
@@ -216,8 +227,9 @@ func (w *World) sendMsg(dst, src int, m message) {
 	}
 }
 
-// recvMsg dequeues the next message from src for dst, unwinding if the
-// world aborts while the mailbox is empty.
+// recvMsg dequeues the next message from src for dst, unwinding (an
+// abortPanic panic, recovered by Run) if the world aborts while the
+// mailbox is empty.
 func (w *World) recvMsg(dst, src int) message {
 	select {
 	case m := <-w.mail[dst][src]:
@@ -233,8 +245,10 @@ func (w *World) recvMsg(dst, src int) message {
 }
 
 // Send delivers a tagged float payload to dst. Models an eager/buffered
-// send: it never blocks (mailboxes hold 64 in-flight messages per pair, far above the ≤1-per-Multiply the staged protocols use), matching the paper's use of
-// non-blocking Isend.
+// send: it never blocks (mailboxes hold MailboxDepth in-flight messages per
+// pair, far above the ≤1-per-Multiply the staged protocols use), matching
+// the paper's use of non-blocking Isend. Self-sends panic: local data needs
+// no transport.
 //
 // The payload is copied into a pooled transport buffer, so the caller keeps
 // ownership of floats; the receiver owns the transport buffer (see Recv /
@@ -256,7 +270,8 @@ func (r *Rank) Send(dst, tag int, floats []float64, phase string) {
 // SendOwned delivers a tagged float payload to dst without copying: the
 // buffer itself (typically from GetFloats) travels to the receiver, which
 // assumes ownership. The caller must not touch floats afterwards — this is
-// the sender half of the pooled zero-copy path.
+// the sender half of the pooled zero-copy path. Self-sends panic, as in
+// Send.
 func (r *Rank) SendOwned(dst, tag int, floats []float64, phase string) {
 	if dst == r.ID {
 		panic("comm: self-send not supported; use local data directly")
@@ -273,7 +288,7 @@ func (r *Rank) sendOwned(dst, tag int, floats []float64, phase string) {
 }
 
 // SendInts delivers a tagged int payload to dst (used to exchange the
-// NnzCols row-index lists during setup).
+// NnzCols row-index lists during setup). Self-sends panic, as in Send.
 func (r *Rank) SendInts(dst, tag int, ints []int, phase string) {
 	if dst == r.ID {
 		panic("comm: self-send not supported")

@@ -95,7 +95,8 @@ func (w *World) takeFault(rank int, op int64) (Fault, bool) {
 // through on entry: it advances the rank's op counter, fires any armed
 // fault, and unwinds immediately when the world is already aborting (so a
 // compute-bound rank notices an abort at its next op rather than blocking
-// into a dead collective). It never allocates.
+// into a dead collective). Both unwinds are abortPanic panics that Run
+// recovers into a typed *RankError. It never allocates.
 func (r *Rank) opPoint() {
 	w := r.w
 	n := w.ops[r.ID].Add(1)

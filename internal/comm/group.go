@@ -30,6 +30,19 @@ func (g *Group) Size() int { return len(g.members) }
 // Members returns the world ranks in group order.
 func (g *Group) Members() []int { return append([]int(nil), g.members...) }
 
+// Member returns the world rank at group index i. Unlike Members it does not
+// copy, so schedule walkers (the static plan verifier, the cost models) can
+// resolve group shapes without allocating.
+func (g *Group) Member(i int) int { return g.members[i] }
+
+// Index returns worldRank's position within the group and whether it is a
+// member — the non-panicking lookup static verification uses where IndexOf
+// would enforce the runtime misuse contract.
+func (g *Group) Index(worldRank int) (int, bool) {
+	i, ok := g.idx[worldRank]
+	return i, ok
+}
+
 // IndexOf returns r's position within the group; panics if not a member.
 func (g *Group) IndexOf(r *Rank) int {
 	i, ok := g.idx[r.ID]
@@ -81,6 +94,8 @@ func (g *Group) BcastFloatsInto(r *Rank, root int, data, dst []float64, phase st
 	return g.bcastFloats(r, root, data, dst, true, phase)
 }
 
+// bcastFloats is the shared broadcast body; a mis-sized dst panics (shape
+// misuse is a caller bug, per the collective contract).
 func (g *Group) bcastFloats(r *Rank, root int, data, dst []float64, useDst bool, phase string) []float64 {
 	me := g.IndexOf(r)
 	r.opPoint()
@@ -119,7 +134,8 @@ func (g *Group) AllReduceSum(r *Rank, data []float64, phase string) []float64 {
 
 // AllReduceSumInto is AllReduceSum reducing into a caller-supplied vector.
 // out must have data's length and must not alias any member's published
-// input (members read each other's inputs while writing their own out).
+// input (members read each other's inputs while writing their own out);
+// either misuse panics.
 func (g *Group) AllReduceSumInto(r *Rank, data, out []float64, phase string) {
 	if len(out) != len(data) {
 		panic(fmt.Sprintf("comm: allreduce out len %d, data len %d", len(out), len(data)))
@@ -162,7 +178,7 @@ func (g *Group) AllGatherFloats(r *Rank, data []float64, phase string) [][]float
 
 // AllGatherFloatsInto is AllGatherFloats copying into caller-supplied
 // per-contributor workspaces: dst[i] must have the length of member i's
-// contribution. Returns dst.
+// contribution (shape misuse panics). Returns dst.
 func (g *Group) AllGatherFloatsInto(r *Rank, data []float64, dst [][]float64, phase string) [][]float64 {
 	if len(dst) != g.Size() {
 		panic(fmt.Sprintf("comm: allgather dst has %d buckets for group of %d", len(dst), g.Size()))
@@ -170,6 +186,8 @@ func (g *Group) AllGatherFloatsInto(r *Rank, data []float64, dst [][]float64, ph
 	return g.allGatherFloats(r, data, dst, phase)
 }
 
+// allGatherFloats is the shared all-gather body; mis-sized caller-supplied
+// workspaces panic (shape misuse is a caller bug).
 func (g *Group) allGatherFloats(r *Rank, data []float64, dst [][]float64, phase string) [][]float64 {
 	me := g.IndexOf(r)
 	r.opPoint()
@@ -214,8 +232,8 @@ func (g *Group) AllToAllv(r *Rank, send [][]float64, phase string) [][]float64 {
 
 // AllToAllvInto is AllToAllv copying into caller-supplied workspaces:
 // recv[j] must have the length of what member j sends to the caller (zero
-// for silent partners). Returns recv. Volume accounting and time charges
-// match AllToAllv.
+// for silent partners); shape misuse panics. Returns recv. Volume
+// accounting and time charges match AllToAllv.
 func (g *Group) AllToAllvInto(r *Rank, send, recv [][]float64, phase string) [][]float64 {
 	if len(recv) != g.Size() {
 		panic(fmt.Sprintf("comm: alltoallv recv has %d buckets for group of %d", len(recv), g.Size()))
@@ -223,6 +241,8 @@ func (g *Group) AllToAllvInto(r *Rank, send, recv [][]float64, phase string) [][
 	return g.allToAllv(r, send, recv, phase)
 }
 
+// allToAllv is the shared exchange body; mis-sized send or recv buckets
+// panic (shape misuse is a caller bug).
 func (g *Group) allToAllv(r *Rank, send, recv [][]float64, phase string) [][]float64 {
 	if len(send) != g.Size() {
 		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))
@@ -265,7 +285,7 @@ func (g *Group) allToAllv(r *Rank, send, recv [][]float64, phase string) [][]flo
 }
 
 // AllToAllvInts is AllToAllv for int payloads (the NnzCols index exchange
-// during sparsity-aware setup).
+// during sparsity-aware setup); a mis-sized send panics.
 func (g *Group) AllToAllvInts(r *Rank, send [][]int, phase string) [][]int {
 	if len(send) != g.Size() {
 		panic(fmt.Sprintf("comm: alltoallv send has %d buckets for group of %d", len(send), g.Size()))

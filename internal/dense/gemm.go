@@ -60,6 +60,7 @@ func MatMulAddInto(c, a, b *Matrix) {
 			break
 		}
 		wg.Add(1)
+		//lint:ignore steadyalloc the worker fan-out is the parallel kernel's one deliberate allocation, amortized over the whole stripe
 		go func(lo, hi int) {
 			defer wg.Done()
 			gemmStripe(c, a, b, lo, hi)

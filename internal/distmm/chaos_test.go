@@ -102,12 +102,21 @@ func TestChaosConformance(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
+					// The chaos sweep only injects faults into statically
+					// verified schedules: a hang found here is an executor or
+					// abort-protocol bug, never a malformed plan.
+					if err := Verify(e.Plan()); err != nil {
+						t.Fatalf("compiled plan fails Verify: %v", err)
+					}
 					e.SetExecMode(mode)
 					engine = func() (*dense.Matrix, error) { return run2DErr(w, e, h) }
 				} else {
 					e, err := NewEngine(w, spec.Name, spec.C, a, UniformLayout(n, p/spec.C))
 					if err != nil {
 						t.Fatal(err)
+					}
+					if err := Verify(e.Plan()); err != nil {
+						t.Fatalf("compiled plan fails Verify: %v", err)
 					}
 					e.SetExecMode(mode)
 					engine = func() (*dense.Matrix, error) { return runMultiplyErr(w, e, h) }

@@ -130,6 +130,11 @@ func TestEngineConformance(t *testing.T) {
 						if err != nil {
 							t.Fatalf("%s: %v", label, err)
 						}
+						// Verify-at-compile smoke: every candidate plan must
+						// pass the static checker before it is allowed to run.
+						if err := Verify(e.Plan()); err != nil {
+							t.Fatalf("%s: compiled plan fails Verify: %v", label, err)
+						}
 						e.SetExecMode(mode)
 						outs[mi] = run2D(t, w, e, h)
 						checkVolumes(t, label, w, e.Plan(), f)
@@ -137,6 +142,9 @@ func TestEngineConformance(t *testing.T) {
 						e, err := NewEngine(w, spec.Name, spec.C, g.a, UniformLayout(n, p/spec.C))
 						if err != nil {
 							t.Fatalf("%s: %v", label, err)
+						}
+						if err := Verify(e.Plan()); err != nil {
+							t.Fatalf("%s: compiled plan fails Verify: %v", label, err)
 						}
 						e.SetExecMode(mode)
 						outs[mi] = runMultiply(t, w, e, h)

@@ -46,7 +46,8 @@ func UniformLayout(n, p int) Layout {
 }
 
 // LayoutFromOffsets validates and wraps explicit block boundaries (e.g. the
-// variable-size blocks a partitioner produces).
+// variable-size blocks a partitioner produces). Malformed offsets panic:
+// construction-time misuse, not a runtime failure.
 func LayoutFromOffsets(offsets []int) Layout {
 	if len(offsets) < 2 || offsets[0] != 0 {
 		panic(fmt.Sprintf("distmm: bad offsets %v", offsets))
@@ -71,7 +72,7 @@ func (l Layout) Range(i int) (lo, hi int) { return l.Offsets[i], l.Offsets[i+1] 
 // Count returns the number of rows in block i.
 func (l Layout) Count(i int) int { return l.Offsets[i+1] - l.Offsets[i] }
 
-// Owner returns the block owning global row r.
+// Owner returns the block owning global row r; an out-of-range row panics.
 func (l Layout) Owner(r int) int {
 	if r < 0 || r >= l.N() {
 		panic(fmt.Sprintf("distmm: row %d outside [0,%d)", r, l.N()))

@@ -50,6 +50,8 @@ type Engine interface {
 // checkMultiplyShapes validates the collective-call contract shared by all
 // engines: hLocal holds this rank's block rows, out matches it, and out
 // does not alias hLocal (every engine reads hLocal after writing out).
+// Violations panic — shape misuse is a caller bug, not a rank failure the
+// abort protocol should absorb.
 func checkMultiplyShapes(rank, ownRows int, hLocal, out *dense.Matrix) {
 	if hLocal.Rows != ownRows {
 		panic(fmt.Sprintf("distmm: rank %d got %d H rows, owns %d", rank, hLocal.Rows, ownRows))
@@ -62,7 +64,8 @@ func checkMultiplyShapes(rank, ownRows int, hLocal, out *dense.Matrix) {
 	}
 }
 
-// check1DInputs validates the shared 1D constructor contract.
+// check1DInputs validates the shared 1D constructor contract; violations
+// panic (construction-time misuse — NewEngine wraps this in a typed error).
 func check1DInputs(w *comm.World, aT *sparse.CSR, layout Layout) {
 	if layout.Blocks() != w.P {
 		panic(fmt.Sprintf("distmm: layout has %d blocks for %d ranks", layout.Blocks(), w.P))

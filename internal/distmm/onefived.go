@@ -21,7 +21,8 @@ type Grid struct {
 }
 
 // NewGrid validates the replication factor and builds the sub-communicators.
-// Requires c | P and P ≥ c² (so every process handles ≥ 1 stage).
+// Requires c | P and P ≥ c² (so every process handles ≥ 1 stage); an
+// infeasible factor panics (NewEngine wraps this in a typed error).
 func NewGrid(w *comm.World, c int) *Grid {
 	if c < 1 || w.P%c != 0 {
 		panic(fmt.Sprintf("distmm: replication factor %d does not divide P=%d", c, w.P))
@@ -57,7 +58,8 @@ func (g *Grid) ColOf(rank int) int { return rank % g.C }
 // Stages returns s = P/c², the number of SpMM stages per process.
 func (g *Grid) Stages() int { return g.Rows / g.C }
 
-// check15DInputs validates the shared 1.5D constructor contract.
+// check15DInputs validates the shared 1.5D constructor contract; violations
+// panic (construction-time misuse — NewEngine wraps this in a typed error).
 func check15DInputs(grid *Grid, aT *sparse.CSR, layout Layout) {
 	if layout.Blocks() != grid.Rows {
 		panic(fmt.Sprintf("distmm: layout has %d blocks, grid has %d rows", layout.Blocks(), grid.Rows))

@@ -296,6 +296,7 @@ func (p *Plan) startStageComm(r *comm.Rank, prog []instr, st *pipeStage, hLocal 
 				payload = hLocal.Data
 			}
 			dst := growFloats(&ws.pipeRecv[parity], in.rows*f)
+			//lint:ignore commphase the executor settles this stage's charges in bulk after the pipeline drains
 			ws.async.StartBcastFloatsInto(in.group, r, in.root, payload, dst, "")
 			async = true
 		case opAllToAllv:
@@ -311,6 +312,7 @@ func (p *Plan) startStageComm(r *comm.Rank, prog []instr, st *pipeStage, hLocal 
 			for j, rows := range in.recvRows {
 				ws.pipeRecvPtr[parity][j] = growFloats(&ws.pipeRecvBufs[parity][j], rows*f)
 			}
+			//lint:ignore commphase the executor settles this stage's charges in bulk after the pipeline drains
 			ws.async.StartAllToAllvInto(in.group, r, ws.pipeSend[parity], ws.pipeRecvPtr[parity], "")
 			async = true
 		case opRecvMul:
@@ -319,11 +321,13 @@ func (p *Plan) startStageComm(r *comm.Rank, prog []instr, st *pipeStage, hLocal 
 			async = true
 		case opSendRows:
 			if len(in.idx) == 0 {
+				//lint:ignore commphase the executor settles this stage's charges in bulk after the pipeline drains
 				r.SendOwned(in.peer, in.tag, nil, "")
 				continue
 			}
 			buf := r.GetFloats(len(in.idx) * f)
 			hLocal.GatherRowsInto(buf, in.idx)
+			//lint:ignore commphase the executor settles this stage's charges in bulk after the pipeline drains
 			r.SendOwned(in.peer, in.tag, buf, "")
 		case opChargePack:
 			// Pricing-only in overlap mode: walkOverlap accounts the pack.
@@ -406,6 +410,7 @@ func (p *Plan) executeOverlap(r *comm.Rank, hLocal, out *dense.Matrix, ws *execW
 		}
 	}
 	for _, i := range pp.epilogue {
+		//lint:ignore commphase the epilogue allreduce is charged by the settlement pass below
 		prog[i].group.AllReduceSumInto(r, acc.Data, out.Data, "")
 	}
 	// Settle the modeled pipelined time in one deterministic pass — the same

@@ -126,7 +126,8 @@ func (p *Plan) Replication() int { return p.replication }
 func (p *Plan) Ranks() int { return len(p.progs) }
 
 // widthOf resolves rank's dense operand width for a prediction at global
-// width f, validating f against a width-pinned (2D) plan.
+// width f, validating f against a width-pinned (2D) plan; asking a pinned
+// plan about a different width panics (caller misuse).
 func (p *Plan) widthOf(rank, f int) int {
 	if p.widths == nil {
 		return f
@@ -678,7 +679,8 @@ func (e *SpMM2D) Multiply(r *comm.Rank, hLocal *dense.Matrix) *dense.Matrix {
 	return out
 }
 
-// MultiplyInto is Multiply writing into a caller-supplied block.
+// MultiplyInto is Multiply writing into a caller-supplied block; shape
+// misuse panics, per the collective-call contract of checkMultiplyShapes.
 func (e *SpMM2D) MultiplyInto(r *comm.Rank, hLocal, out *dense.Matrix) {
 	wantRows, wantCols := e.plan.outRows[r.ID], e.plan.widths[r.ID]
 	if hLocal.Rows != wantRows || hLocal.Cols != wantCols {

@@ -55,6 +55,11 @@ type EstimateRow struct {
 	PredMultSec float64
 	MeasMultSec float64
 	TimeMatch   bool
+	// Sites counts the plan instruction sites (summed over ranks, and over
+	// every per-width compile for the 2D kernels) the static verifier
+	// proved safe before this row was priced or executed: EstimateTable
+	// runs distmm.Verify on every compiled plan, always.
+	Sites int
 }
 
 // estWidths returns the dense widths of the distributed SpMMs in one epoch
@@ -141,6 +146,12 @@ func EstimateTable(preset gen.Preset, scaleDiv, p int, seed int64, mode distmm.E
 			if err != nil {
 				panic(err)
 			}
+			// The estimate table never prices or executes an unverified
+			// schedule: a Verify failure here is a plan-compiler bug.
+			if err := distmm.Verify(e.Plan()); err != nil {
+				panic(err)
+			}
+			row.Sites = e.Plan().Sites()
 			e.SetExecMode(mode)
 			fillRow(&row, e.Plan(), w.Params, widths, f0, mode)
 			row.MeasMultiplyBytes, row.MeasMultSec = measureMultiply(w, e, h)
@@ -207,6 +218,10 @@ func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matri
 			row.Skipped = err.Error()
 			return
 		}
+		if err := distmm.Verify(e.Plan()); err != nil {
+			panic(err)
+		}
+		row.Sites += e.Plan().Sites()
 		if f == f0 && first == nil {
 			first = e
 		}
@@ -237,20 +252,20 @@ func fill2DRow(row *EstimateRow, w *comm.World, aHat *sparse.CSR, h *dense.Matri
 
 // PrintEstimateTable renders the predicted-vs-measured table: modeled epoch
 // time under both executors (with the pipelining speedup), predicted
-// volumes, and the executed single-multiply certification of bytes and
-// modeled time.
+// volumes, the executed single-multiply certification of bytes and modeled
+// time, and the instruction-site count the static verifier proved safe.
 func PrintEstimateTable(w io.Writer, title string, rows []EstimateRow) {
 	fmt.Fprintln(w, title)
-	fmt.Fprintf(w, "%-22s %2s %12s %12s %8s %10s %10s %14s %14s %6s %7s\n",
-		"algorithm", "c", "epoch(ms)", "overlap(ms)", "speedup", "max(MB)", "avg(MB)", "pred(B/mult)", "meas(B/mult)", "match", "tmatch")
+	fmt.Fprintf(w, "%-22s %2s %12s %12s %8s %10s %10s %14s %14s %6s %7s %6s\n",
+		"algorithm", "c", "epoch(ms)", "overlap(ms)", "speedup", "max(MB)", "avg(MB)", "pred(B/mult)", "meas(B/mult)", "match", "tmatch", "sites")
 	for _, r := range rows {
 		if r.Skipped != "" {
-			fmt.Fprintf(w, "%-22s %2d %12s %12s %8s %10s %10s %14s %14s %6s %7s  (%s)\n",
-				r.Algorithm, r.C, "-", "-", "-", "-", "-", "-", "-", "-", "-", r.Skipped)
+			fmt.Fprintf(w, "%-22s %2d %12s %12s %8s %10s %10s %14s %14s %6s %7s %6s  (%s)\n",
+				r.Algorithm, r.C, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", r.Skipped)
 			continue
 		}
-		fmt.Fprintf(w, "%-22s %2d %12.3f %12.3f %7.2fx %10.3f %10.3f %14d %14d %6v %7v\n",
+		fmt.Fprintf(w, "%-22s %2d %12.3f %12.3f %7.2fx %10.3f %10.3f %14d %14d %6v %7v %6d\n",
 			r.Algorithm, r.C, r.EpochSec*1e3, r.OverlapSec*1e3, r.Speedup, r.PredMaxMB, r.PredAvgMB,
-			r.PredMultiplyBytes, r.MeasMultiplyBytes, r.Match, r.TimeMatch)
+			r.PredMultiplyBytes, r.MeasMultiplyBytes, r.Match, r.TimeMatch, r.Sites)
 	}
 }

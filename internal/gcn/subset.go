@@ -93,6 +93,7 @@ func (e *SubsetEval) ProbabilitiesInto(dst *dense.Matrix, targets []int) {
 	}
 	// Frontier chain: front_L = targets; front_{l-1} = distinct columns of
 	// Â rows front_l. Â carries self loops, so front_l ⊆ front_{l-1}.
+	//lint:ignore steadyalloc append into the reused frontier buffer grows once and is amortized across calls
 	e.frontiers[L] = append(e.frontiers[L][:0], targets...)
 	for l := L; l >= 1; l-- {
 		e.frontiers[l-1] = e.expand(e.frontiers[l], e.frontiers[l-1])

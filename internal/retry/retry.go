@@ -1,0 +1,52 @@
+// Package retry centralizes backoff timing for the recovery paths: the
+// session auto-resume loop and any future retrying caller compute their
+// delays here, so backoff arithmetic is written once, capped once, and
+// every wait honors context cancellation. The nosleep analyzer enforces
+// the funnel: this is the only package allowed to call time.Sleep.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+// maxShift caps the exponential growth: beyond 2^16 × base the delay is
+// saturated rather than shifted further (shifting a Duration 63 places
+// would overflow into negative sleeps).
+const maxShift = 16
+
+// Backoff returns the capped exponential delay for the attempt'th retry
+// (1-based): base << (attempt-1), saturating at base << maxShift. A
+// non-positive base or attempt yields zero — "no backoff configured".
+func Backoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > maxShift {
+		shift = maxShift
+	}
+	return base << shift
+}
+
+// Sleep blocks for Backoff(base, attempt) or until ctx is done, whichever
+// comes first, returning ctx.Err() on cancellation and nil after a full
+// sleep. A zero delay returns immediately without consulting the clock.
+func Sleep(ctx context.Context, base time.Duration, attempt int) error {
+	d := Backoff(base, attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

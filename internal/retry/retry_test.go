@@ -1,0 +1,61 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoff(t *testing.T) {
+	base := 10 * time.Millisecond
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 0}, {-1, 0},
+		{1, base}, {2, 2 * base}, {3, 4 * base},
+		{maxShift + 1, base << maxShift},
+		{maxShift + 50, base << maxShift}, // saturates, never overflows
+	} {
+		if got := Backoff(base, tc.attempt); got != tc.want {
+			t.Errorf("Backoff(%v, %d) = %v, want %v", base, tc.attempt, got, tc.want)
+		}
+	}
+	if got := Backoff(0, 3); got != 0 {
+		t.Errorf("Backoff(0, 3) = %v, want 0", got)
+	}
+	if got := Backoff(time.Hour, 200); got <= 0 {
+		t.Errorf("saturated backoff went non-positive: %v", got)
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour, 5); err != context.Canceled {
+		t.Fatalf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled Sleep blocked %v", elapsed)
+	}
+}
+
+func TestSleepZeroDelay(t *testing.T) {
+	if err := Sleep(context.Background(), 0, 3); err != nil {
+		t.Fatalf("zero-delay Sleep = %v", err)
+	}
+	if err := Sleep(context.Background(), time.Minute, 0); err != nil {
+		t.Fatalf("attempt-0 Sleep = %v", err)
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	start := time.Now()
+	if err := Sleep(context.Background(), time.Millisecond, 1); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Sleep returned before the delay elapsed")
+	}
+}

@@ -244,7 +244,9 @@ func (s *Server) PredictInto(ctx context.Context, vertices []int, classes []int,
 					continue
 				}
 			}
+			//lint:ignore steadyalloc the miss set is request-scoped; the zero-alloc contract covers the per-step training path, not request assembly
 			misses = append(misses, v)
+			//lint:ignore steadyalloc same request-scoped miss set as the line above
 			missIdx = append(missIdx, i)
 		}
 		if len(misses) == 0 {

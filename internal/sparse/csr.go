@@ -260,6 +260,7 @@ func (m *CSR) Submatrix(rows, cols []int, colPos []int) *CSR {
 // of same-sized receptive fields allocates nothing.
 func (m *CSR) SubmatrixInto(dst *CSR, rows, cols []int, colPos []int) {
 	if colPos == nil {
+		//lint:ignore steadyalloc documented nil-colPos fallback allocates a fresh scratch; steady-state callers pass a reused one
 		colPos = make([]int, m.NumCols)
 		for i := range colPos {
 			colPos[i] = -1
@@ -402,6 +403,7 @@ func (m *CSR) SpMMAddInto(out, h *dense.Matrix) {
 			break
 		}
 		wg.Add(1)
+		//lint:ignore steadyalloc the worker fan-out is the parallel kernel's one deliberate allocation, amortized over the whole stripe
 		go func(lo, hi int) {
 			defer wg.Done()
 			m.spmmStripe(out, h, lo, hi)

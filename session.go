@@ -11,6 +11,7 @@ import (
 	"sagnn/internal/comm"
 	"sagnn/internal/gcn"
 	"sagnn/internal/machine"
+	"sagnn/internal/retry"
 )
 
 // EpochResult reports one training epoch (loss and train accuracy).
@@ -310,9 +311,9 @@ loop:
 			}
 			if recovery && retries < s.opts.maxRetries && lastSnap != nil {
 				retries++
-				if s.opts.backoff > 0 {
-					time.Sleep(s.opts.backoff << (retries - 1))
-				}
+				// Cancellation during the backoff wait is observed at the
+				// top of the next launch, so the early return is discarded.
+				retry.Sleep(ctx, s.opts.backoff, retries)
 				if rbErr := rollback(); rbErr != nil {
 					runErr = rbErr
 					break

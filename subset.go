@@ -95,6 +95,7 @@ func (m *Model) ProbabilitiesSubsetInto(dst []float64, ds *Dataset, vertices []i
 		if err := ValidateVertices(n, vertices); err != nil {
 			return 0, err
 		}
+		//lint:ignore steadyalloc append into the reused m.sorted buffer grows once and is amortized across requests
 		m.sorted = append(m.sorted[:0], vertices...)
 		sort.Ints(m.sorted)
 	}
