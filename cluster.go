@@ -69,8 +69,80 @@ func NewCluster(p int, opts ...ClusterOption) (*Cluster, error) {
 	return &Cluster{p: p, world: comm.NewWorld(p, o.params)}, nil
 }
 
+// NewTCPCluster creates a cluster whose communicator is the real multi-
+// process TCP transport: one OS process per rank, this process hosting rank
+// self. peers is the static peer list — peers[i] is rank i's listen address
+// (e.g. "127.0.0.1:9000") — shared verbatim by every process; len(peers) is
+// the cluster size. The constructor blocks until the full connection mesh is
+// up (processes may start in any order; rendezvous is bounded by a timeout)
+// and returns an error if any peer never appears.
+//
+// Every process must execute the same collective calls in the same order
+// (Distribute, session steps, Calibrate, Estimate sweeps are deterministic,
+// so running the same program in each process satisfies this). Setup —
+// partitioning, plan compilation — is deterministic local computation, so
+// each process independently compiles the identical schedule. A killed or
+// hung peer surfaces as a *RankError (cause comm.ErrPeerDisconnected) on
+// every survivor. Call Close when done.
+func NewTCPCluster(self int, peers []string, opts ...ClusterOption) (*Cluster, error) {
+	o := clusterOptions{params: machine.Perlmutter()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := comm.NewWorldTCP(self, peers, o.params)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{p: len(peers), world: w}, nil
+}
+
 // Processes returns the cluster's process count.
 func (c *Cluster) Processes() int { return c.p }
+
+// Transport returns the communication backend name: "sim" for the in-process
+// simulated communicator (NewCluster), "tcp" for the multi-process transport
+// (NewTCPCluster).
+func (c *Cluster) Transport() string { return c.world.Transport() }
+
+// LocalRank returns the lowest rank hosted by this process: 0 for a
+// simulated cluster (which hosts every rank), this process's own rank for
+// TCP. Gate "print once" logic on LocalRank() == 0 so it stays correct
+// across transports.
+func (c *Cluster) LocalRank() int { return c.world.LocalRank() }
+
+// Close shuts the transport down (closing the TCP connection mesh after an
+// orderly goodbye); a no-op for simulated clusters.
+func (c *Cluster) Close() error { return c.world.Close() }
+
+// Calibration is the fitted α–β result of Cluster.Calibrate: the measured
+// postal parameters plus the full machine parameters with them applied.
+type Calibration struct {
+	// Alpha is the fitted per-message latency in seconds; Beta the fitted
+	// inverse bandwidth in seconds per logical byte.
+	Alpha, Beta float64
+	// Params is the cluster's machine model with Alpha/Beta replaced by the
+	// fitted values — pass to Estimate or WithMachine to drive decisions
+	// with measured constants.
+	Params MachineParams
+}
+
+// Calibrate runs the ping-pong latency/bandwidth sweep between ranks 0 and 1
+// and fits α and β from the measured transfers by least squares. On a
+// simulated cluster the measurements are exact modeled charges, so the fit
+// recovers the configured machine parameters (the golden test of the
+// procedure); on a TCP cluster they are wall-clock measurements of the real
+// links, and the fitted parameters let AlgorithmAuto and Estimate select
+// against actual hardware. Collective on TCP: every process must call it at
+// the same point. Needs at least 2 processes.
+func (c *Cluster) Calibrate() (Calibration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cal, err := comm.Calibrate(c.world, comm.DefaultCalibrationSizes(), 0)
+	if err != nil {
+		return Calibration{}, err
+	}
+	return Calibration{Alpha: cal.Alpha, Beta: cal.Beta, Params: cal.Apply(c.world.Params)}, nil
+}
 
 // ErrInjectedFault is the cause reported by faults armed without an explicit
 // error (InjectFault with a nil cause). Re-exported from the internal comm

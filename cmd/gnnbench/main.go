@@ -6,7 +6,9 @@
 //	gnnbench -exp table2|fig3|fig4|fig5|fig6|fig7|ablation|all \
 //	         [-dataset reddit-sim|amazon-sim|protein-sim|papers-sim] \
 //	         [-scalediv N] [-seed S]
-//	gnnbench -estimate [-p N] [-dataset ...] [-scalediv N] [-seed S]
+//	gnnbench -estimate [-p N] [-dataset ...] [-scalediv N] [-seed S] \
+//	         [-calibrate] [-alpha A] [-beta B]
+//	gnnbench -bench [-p N] [-epochs E] [-json] [-dataset ...]
 //
 // -scalediv divides the preset dataset sizes by a power-of-two factor;
 // 1 runs the full preset sizes (slow), 4 is a good laptop default.
@@ -14,18 +16,31 @@
 // -estimate prints the predicted-vs-measured cost table without training:
 // every algorithm candidate (1D, 1.5D over c ∈ {2,4}, 2D where P is
 // square) priced from its compiled communication plan, verified against
-// the volumes of one executed SpMM.
+// the volumes of one executed SpMM. The α–β constants the table prices
+// with can come from the calibration probe (-calibrate fits them against
+// the simulated backend) or be set directly (-alpha/-beta, e.g. values a
+// TCP `train -calibrate` run measured on real links) — this is how
+// measured hardware parameters drive the AlgorithmAuto decision.
+//
+// -bench runs one training measurement (scheme SA+GVB) and reports the
+// modeled epoch time, its per-phase breakdown, the measured communication
+// volume, and the probe-fitted α–β; with -json the same report is written
+// to BENCH_<dataset>.json for downstream tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
+	"sagnn/internal/comm"
 	"sagnn/internal/distmm"
 	"sagnn/internal/experiments"
 	"sagnn/internal/gen"
+	"sagnn/internal/machine"
 )
 
 func main() {
@@ -34,11 +49,26 @@ func main() {
 	scaleDiv := flag.Int("scalediv", 4, "divide preset dataset sizes by this power-of-two factor (1 = full)")
 	seed := flag.Int64("seed", 42, "random seed")
 	estimate := flag.Bool("estimate", false, "print the predicted-vs-measured cost table (no training) and exit")
-	procs := flag.Int("p", 16, "process count for -estimate")
+	procs := flag.Int("p", 16, "process count for -estimate and -bench")
 	execMode := flag.String("exec", "seq", "plan executor for the measured multiply of -estimate: seq (stage by stage) or overlap (pipelined)")
+	bench := flag.Bool("bench", false, "run one training benchmark (SA+GVB) and report epoch time, per-phase cost, comm volume, fitted α–β")
+	epochs := flag.Int("epochs", 4, "epochs for -bench")
+	jsonOut := flag.Bool("json", false, "with -bench: also write the report to BENCH_<dataset>.json")
+	calib := flag.Bool("calibrate", false, "fit α–β with the calibration probe (simulated backend) and price -estimate with the fitted values")
+	alphaF := flag.Float64("alpha", 0, "override machine α in seconds for -estimate (e.g. a value measured by `train -transport tcp -calibrate`)")
+	betaF := flag.Float64("beta", 0, "override machine β in seconds per logical byte for -estimate")
 	flag.Parse()
 
 	t0 := time.Now()
+	if *bench {
+		if *procs < 1 {
+			fmt.Fprintf(os.Stderr, "-p must be a positive process count, got %d\n", *procs)
+			os.Exit(2)
+		}
+		runBench(*dataset, *scaleDiv, *procs, *epochs, *seed, *jsonOut)
+		fmt.Printf("\ncompleted in %v\n", time.Since(t0).Round(time.Millisecond))
+		return
+	}
 	if *estimate {
 		if *procs < 1 {
 			fmt.Fprintf(os.Stderr, "-p must be a positive process count, got %d\n", *procs)
@@ -53,7 +83,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-exec must be seq or overlap, got %q\n", *execMode)
 			os.Exit(2)
 		}
-		runEstimate(*dataset, *scaleDiv, *procs, *seed, mode)
+		params := estimateParams(*calib, *alphaF, *betaF, *procs)
+		runEstimate(*dataset, *scaleDiv, *procs, *seed, mode, params)
 		fmt.Printf("\ncompleted in %v\n", time.Since(t0).Round(time.Millisecond))
 		return
 	}
@@ -98,12 +129,83 @@ func datasetsOr(flagVal string, defaults []gen.Preset) []gen.Preset {
 	return []gen.Preset{gen.Preset(flagVal)}
 }
 
-func runEstimate(dataset string, scaleDiv, p int, seed int64, mode distmm.ExecMode) {
+// estimateParams assembles the machine model the estimate table prices with:
+// Perlmutter defaults, optionally replaced by probe-fitted values
+// (-calibrate) and then by explicit -alpha/-beta overrides (strongest).
+func estimateParams(calibrate bool, alpha, beta float64, p int) machine.Params {
+	params := machine.Perlmutter()
+	if calibrate {
+		probeP := p
+		if probeP < 2 {
+			probeP = 2
+		}
+		cal, err := comm.Calibrate(comm.NewWorld(probeP, params), comm.DefaultCalibrationSizes(), 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		params = cal.Apply(params)
+		fmt.Printf("calibrated α = %.3e s, β = %.3e s/B (%.2f GB/s) against the simulated backend\n\n",
+			cal.Alpha, cal.Beta, 1/(cal.Beta*1e9))
+	}
+	if alpha > 0 {
+		params.Alpha = alpha
+	}
+	if beta > 0 {
+		params.Beta = beta
+	}
+	return params
+}
+
+func runEstimate(dataset string, scaleDiv, p int, seed int64, mode distmm.ExecMode, params machine.Params) {
 	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.RedditSim, gen.AmazonSim, gen.ProteinSim}) {
-		rows := experiments.EstimateTable(ds, scaleDiv, p, seed, mode)
+		rows := experiments.EstimateTableWith(ds, scaleDiv, p, seed, mode, params)
 		experiments.PrintEstimateTable(os.Stdout,
-			fmt.Sprintf("Predicted vs measured communication cost — %s, P=%d, exec=%s", ds, p, mode), rows)
+			fmt.Sprintf("Predicted vs measured communication cost — %s, P=%d, exec=%s, α=%.2e β=%.2e",
+				ds, p, mode, params.Alpha, params.Beta), rows)
 		fmt.Println()
+	}
+}
+
+func runBench(dataset string, scaleDiv, p, epochs int, seed int64, writeJSON bool) {
+	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.ProteinSim}) {
+		rep, err := experiments.Bench(experiments.RunConfig{
+			Dataset:  ds,
+			ScaleDiv: scaleDiv,
+			P:        p,
+			Scheme:   experiments.SchemeSAGVB,
+			Epochs:   epochs,
+			Seed:     seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("bench %s: P=%d epochs=%d  epoch %.5fs  sent avg %.2f / max %.2f MB  loss %.4f\n",
+			rep.Name, rep.P, rep.Epochs, rep.EpochSec, rep.AvgSentMB, rep.MaxSentMB, rep.FinalLoss)
+		phases := make([]string, 0, len(rep.PhaseSec))
+		for ph := range rep.PhaseSec {
+			phases = append(phases, ph)
+		}
+		sort.Strings(phases)
+		for _, ph := range phases {
+			fmt.Printf("  %-10s %.5fs\n", ph, rep.PhaseSec[ph])
+		}
+		fmt.Printf("  fitted α = %.3e s, β = %.3e s/B (%.2f GB/s)\n",
+			rep.AlphaSec, rep.BetaSecPerByte, rep.BandwidthGBPerS)
+		if writeJSON {
+			blob, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			name := fmt.Sprintf("BENCH_%s.json", rep.Name)
+			if err := os.WriteFile(name, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("  wrote %s\n", name)
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"sagnn/internal/machine"
+)
+
+// The golden test of the calibration procedure: on the simulated backend the
+// ping-pong "measurements" are the exact modeled charges, so the least-
+// squares fit must recover the configured machine parameters to floating-
+// point precision. Anything off here means the probe's accounting or the
+// fit's units drifted from the cost model.
+func TestCalibrateGoldenSim(t *testing.T) {
+	params := machine.Perlmutter()
+	w := NewWorld(4, params)
+	cal, err := Calibrate(w, DefaultCalibrationSizes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(cal.Alpha, params.Alpha, 1e-9) {
+		t.Errorf("fitted α = %g, configured %g", cal.Alpha, params.Alpha)
+	}
+	if !approxEq(cal.Beta, params.Beta, 1e-9) {
+		t.Errorf("fitted β = %g, configured %g", cal.Beta, params.Beta)
+	}
+	got := cal.Apply(machine.Params{})
+	if got.Alpha != cal.Alpha || got.Beta != cal.Beta {
+		t.Errorf("Apply did not install fitted values: %+v", got)
+	}
+	if len(cal.Samples) != len(DefaultCalibrationSizes()) {
+		t.Errorf("%d samples for %d sizes", len(cal.Samples), len(DefaultCalibrationSizes()))
+	}
+}
+
+// Calibration against a non-default machine must recover that machine, not
+// Perlmutter: the probe reads the world's own cost model.
+func TestCalibrateGoldenCustomMachine(t *testing.T) {
+	params := machine.Perlmutter()
+	params.Alpha = 2.5e-5
+	params.Beta = 1 / 5e9
+	w := NewWorld(2, params)
+	cal, err := Calibrate(w, []int{512, 8192, 131072}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(cal.Alpha, params.Alpha, 1e-9) {
+		t.Errorf("fitted α = %g, configured %g", cal.Alpha, params.Alpha)
+	}
+	if !approxEq(cal.Beta, params.Beta, 1e-9) {
+		t.Errorf("fitted β = %g, configured %g", cal.Beta, params.Beta)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(NewWorld(1, machine.Perlmutter()), DefaultCalibrationSizes(), 0); err == nil {
+		t.Error("single-rank world: want error")
+	}
+	if _, err := Calibrate(NewWorld(2, machine.Perlmutter()), []int{1024}, 0); err == nil {
+		t.Error("single transfer size: want error")
+	}
+}
+
+// approxEq reports |a−b| ≤ tol·max(|a|,|b|).
+func approxEq(a, b, tol float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*m
+}

@@ -65,6 +65,14 @@ type World struct {
 	world  *Group
 	pool   bufPool
 
+	// net is the TCP backend when this world was built by NewWorldTCP; nil
+	// selects the default in-process simulated transport. hosted lists the
+	// world ranks running inside this process (every rank for the simulated
+	// backend, exactly one for TCP): Run variants spawn goroutines only for
+	// hosted ranks.
+	net    *netWorld
+	hosted []int
+
 	// degrade holds per-rank comm-time multipliers (fault-priced time).
 	degrade *machine.Degradation
 
@@ -105,6 +113,10 @@ func NewWorld(p int, params machine.Params) *World {
 		ops:     make([]atomic.Int64, p),
 	}
 	w.abortCh.Store(&abortState{ch: make(chan struct{})})
+	w.hosted = make([]int, p)
+	for i := range w.hosted {
+		w.hosted[i] = i
+	}
 	w.mail = make([][]chan message, p)
 	for d := range w.mail {
 		w.mail[d] = make([]chan message, p)
@@ -212,8 +224,13 @@ func (r *Rank) ChargeCompute(phase string, sec float64) { r.chargeTime(phase, se
 
 // sendMsg enqueues m for dst, unwinding (an abortPanic panic, recovered by
 // Run) if the world aborts while the mailbox is full. The fast path is a
-// plain buffered-channel send.
+// plain buffered-channel send. On the TCP backend the message is framed and
+// handed to the peer's coalescing writer instead; wire sends never block.
 func (w *World) sendMsg(dst, src int, m message) {
+	if w.net != nil {
+		w.net.sendMessage(dst, laneP2P, m)
+		return
+	}
 	select {
 	case w.mail[dst][src] <- m:
 		return
@@ -229,8 +246,12 @@ func (w *World) sendMsg(dst, src int, m message) {
 
 // recvMsg dequeues the next message from src for dst, unwinding (an
 // abortPanic panic, recovered by Run) if the world aborts while the
-// mailbox is empty.
+// mailbox is empty. On the TCP backend it pops the (src, p2p-lane) inbox the
+// reader goroutine lands decoded frames into.
 func (w *World) recvMsg(dst, src int) message {
+	if w.net != nil {
+		return w.net.recvLane(src, laneP2P)
+	}
 	select {
 	case m := <-w.mail[dst][src]:
 		return m

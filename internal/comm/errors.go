@@ -31,6 +31,15 @@ var ErrAsyncBusy = errors.New("comm: async operation already in flight")
 // ErrAsyncClosed reports a Start* on an Async after Close.
 var ErrAsyncClosed = errors.New("comm: async runner closed")
 
+// ErrPeerDisconnected reports a TCP peer whose connection failed or closed
+// before an orderly goodbye — a killed or wedged rank process. Surfaced on
+// every survivor as the cause of a *RankError naming the lost rank.
+var ErrPeerDisconnected = errors.New("comm: peer disconnected")
+
+// ErrPeerAborted reports that a TCP peer aborted its run and announced the
+// failure over the wire; the wrapped text carries the peer's recorded cause.
+var ErrPeerAborted = errors.New("comm: peer aborted")
+
 // RankError is the typed failure World.RunErr (and the panicking Run
 // wrapper) surfaces: which rank observed the failure, at which of its
 // communication operations, and the underlying cause. Aborts raised outside

@@ -134,10 +134,16 @@ type abortState struct {
 // rank — barrier waiters, pending sends and receives, async workers — which
 // unwind and make RunErr return the cause. Later calls are no-ops. Safe to
 // call from any goroutine, including a rank's own.
-func (w *World) Abort(err error) {
+func (w *World) Abort(err error) { w.abort(err, true) }
+
+// abort is the shared abort body; broadcast selects whether the TCP backend
+// announces the abort to its peers (true for locally raised failures, false
+// for aborts that arrived from a peer or a detected disconnect — every
+// survivor observes those directly, and re-broadcasting would echo forever).
+func (w *World) abort(err error, broadcast bool) {
 	w.abortMu.Lock()
-	defer w.abortMu.Unlock()
 	if w.abortErr != nil {
+		w.abortMu.Unlock()
 		return
 	}
 	if _, ok := err.(*RankError); !ok {
@@ -147,11 +153,15 @@ func (w *World) Abort(err error) {
 	st := w.abortCh.Load()
 	w.abortCh.Store(&abortState{ch: st.ch, closed: true})
 	close(st.ch)
+	w.abortMu.Unlock()
 	w.groupMu.Lock()
 	groups := append([]*Group(nil), w.groups...)
 	w.groupMu.Unlock()
 	for _, g := range groups {
 		g.bar.abort()
+	}
+	if broadcast && w.net != nil {
+		w.net.broadcastAbort(err)
 	}
 }
 
@@ -187,6 +197,9 @@ func (w *World) reset() {
 			}
 		}
 	}
+	if w.net != nil {
+		w.net.drainInboxes(&w.pool)
+	}
 	w.groupMu.Lock()
 	groups := append([]*Group(nil), w.groups...)
 	w.groupMu.Unlock()
@@ -195,7 +208,8 @@ func (w *World) reset() {
 	}
 }
 
-// RunErr executes fn once per rank, each in its own goroutine, and blocks
+// RunErr executes fn once per hosted rank (every rank on the in-process
+// backend, exactly one on TCP), each in its own goroutine, and blocks
 // until all return. Any failure — an injected fault, a rank panic, an error
 // returned by fn, an external Abort — aborts the whole collective: every
 // blocked rank unwinds deterministically, the world is reset to a reusable
@@ -211,7 +225,7 @@ func (w *World) RunErr(fn func(r *Rank) error) error {
 		w.ops[i].Store(0)
 	}
 	var wg sync.WaitGroup
-	for id := 0; id < w.P; id++ {
+	for _, id := range w.hosted {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()

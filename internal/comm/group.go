@@ -54,8 +54,12 @@ func (g *Group) IndexOf(r *Rank) int {
 
 // Barrier synchronises all members.
 func (g *Group) Barrier(r *Rank) {
-	g.IndexOf(r)
+	me := g.IndexOf(r)
 	r.opPoint()
+	if g.w.net != nil {
+		g.netBarrier(r, me)
+		return
+	}
 	g.bar.wait()
 }
 
@@ -99,6 +103,9 @@ func (g *Group) BcastFloatsInto(r *Rank, root int, data, dst []float64, phase st
 func (g *Group) bcastFloats(r *Rank, root int, data, dst []float64, useDst bool, phase string) []float64 {
 	me := g.IndexOf(r)
 	r.opPoint()
+	if g.w.net != nil {
+		return g.netBcastFloats(r, me, root, data, dst, useDst, phase)
+	}
 	if me == root {
 		g.fslots[me] = data
 	}
@@ -145,6 +152,10 @@ func (g *Group) AllReduceSumInto(r *Rank, data, out []float64, phase string) {
 	}
 	me := g.IndexOf(r)
 	r.opPoint()
+	if g.w.net != nil {
+		g.netAllReduceSum(r, me, data, out, phase)
+		return
+	}
 	g.fslots[me] = data
 	g.bar.wait()
 	for j := range out {
@@ -191,6 +202,9 @@ func (g *Group) AllGatherFloatsInto(r *Rank, data []float64, dst [][]float64, ph
 func (g *Group) allGatherFloats(r *Rank, data []float64, dst [][]float64, phase string) [][]float64 {
 	me := g.IndexOf(r)
 	r.opPoint()
+	if g.w.net != nil {
+		return g.netAllGatherFloats(r, me, data, dst, phase)
+	}
 	g.fslots[me] = data
 	g.bar.wait()
 	alloc := dst == nil
@@ -249,6 +263,9 @@ func (g *Group) allToAllv(r *Rank, send, recv [][]float64, phase string) [][]flo
 	}
 	me := g.IndexOf(r)
 	r.opPoint()
+	if g.w.net != nil {
+		return g.netAllToAllv(r, me, send, recv, phase)
+	}
 	g.vslots[me] = send
 	g.bar.wait()
 	alloc := recv == nil
@@ -292,6 +309,9 @@ func (g *Group) AllToAllvInts(r *Rank, send [][]int, phase string) [][]int {
 	}
 	me := g.IndexOf(r)
 	r.opPoint()
+	if g.w.net != nil {
+		return g.netAllToAllvInts(r, me, send, phase)
+	}
 	g.islots[me] = send
 	g.bar.wait()
 	out := make([][]int, g.Size())

@@ -1,0 +1,257 @@
+package comm
+
+import (
+	"fmt"
+
+	"sagnn/internal/machine"
+)
+
+// Message-based collective bodies for the TCP backend. The Group methods in
+// group.go branch here when the world carries a netWorld: the slot/barrier
+// machinery of the in-process backend assumes every member is a local
+// goroutine, while a TCP process hosts exactly one rank, so each collective
+// becomes explicit frames on the collective lane. Three invariants keep the
+// two backends interchangeable:
+//
+//   - Determinism: reductions fold contributions in group member order —
+//     exactly the order the in-process bodies walk the exchange slots — so
+//     floating-point results are bit-identical across transports.
+//   - Accounting: volume counters and modeled α–β charges use formula-for-
+//     formula the same code as the in-process bodies (a broadcast is one
+//     logical tree send even though the root writes g-1 frames); the
+//     conformance tests pin ledger equality.
+//   - Ordering: each rank enters its collectives in program order with at
+//     most one in flight (the Async lookahead contract), so per-pair FIFO on
+//     the collective lane is a sufficient match discipline; distinct tags per
+//     collective kind turn any violation into ErrTagMismatch.
+
+// netBcastFloats is the wire broadcast: the root sends its payload to every
+// other member; everyone charges the modeled tree-broadcast time. A
+// mis-sized dst panics, matching the in-process shape contract.
+func (g *Group) netBcastFloats(r *Rank, me, root int, data, dst []float64, useDst bool, phase string) []float64 {
+	nw := g.w.net
+	var src, wire []float64
+	if me == root {
+		for i := range g.members {
+			if i != me {
+				nw.sendFloats(g.members[i], laneColl, tagBcast, data)
+			}
+		}
+		src = data
+	} else {
+		m := nw.recvColl(g.members[root], tagBcast)
+		src, wire = m.floats, m.floats
+	}
+	if useDst {
+		if len(dst) != len(src) {
+			panic(fmt.Sprintf("comm: bcast dst len %d, payload len %d", len(dst), len(src)))
+		}
+		copy(dst, src)
+		g.w.pool.put(wire)
+	} else if wire != nil {
+		dst = wire // the decoded wire buffer becomes the caller-owned result
+	} else {
+		dst = make([]float64, len(src))
+		copy(dst, src)
+	}
+	nBytes := int64(len(src)) * machine.BytesPerElem
+	if me == root {
+		g.w.stats.addSend(r.ID, nBytes, 1)
+	} else {
+		g.w.stats.addRecv(r.ID, nBytes)
+	}
+	r.chargeComm(phase, g.w.Params.BcastTime(nBytes, g.Size()))
+	return dst
+}
+
+// netAllReduceSum is the wire all-reduce: every member sends its vector to
+// every other member and folds the contributions in group member order —
+// the same summation order as the in-process slot walk, so results are
+// bit-identical. A length mismatch panics, matching the in-process contract.
+func (g *Group) netAllReduceSum(r *Rank, me int, data, out []float64, phase string) {
+	nw := g.w.net
+	for i := range g.members {
+		if i != me {
+			nw.sendFloats(g.members[i], laneColl, tagAllReduce, data)
+		}
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for i := range g.members {
+		v, wire := data, []float64(nil)
+		if i != me {
+			m := nw.recvColl(g.members[i], tagAllReduce)
+			v, wire = m.floats, m.floats
+		}
+		if len(v) != len(data) {
+			panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(v), len(data)))
+		}
+		for j, x := range v {
+			out[j] += x
+		}
+		g.w.pool.put(wire)
+	}
+	nBytes := int64(len(data)) * machine.BytesPerElem
+	ringVol := nBytes // ring all-reduce moves ~2n bytes; modeled in AllReduceTime
+	if g.Size() > 1 {
+		g.w.stats.addSend(r.ID, ringVol, int64(g.Size()-1))
+		g.w.stats.addRecv(r.ID, ringVol)
+	}
+	r.chargeComm(phase, g.w.Params.AllReduceTime(nBytes, g.Size()))
+}
+
+// netAllGatherFloats is the wire all-gather: every member sends its
+// contribution to every other member; results land per contributor in group
+// order. Mis-sized caller-supplied workspaces panic, as in-process.
+func (g *Group) netAllGatherFloats(r *Rank, me int, data []float64, dst [][]float64, phase string) [][]float64 {
+	nw := g.w.net
+	for i := range g.members {
+		if i != me {
+			nw.sendFloats(g.members[i], laneColl, tagAllGather, data)
+		}
+	}
+	alloc := dst == nil
+	if alloc {
+		dst = make([][]float64, g.Size())
+	}
+	var total int64
+	for i := range g.members {
+		v, wire := data, []float64(nil)
+		if i != me {
+			m := nw.recvColl(g.members[i], tagAllGather)
+			v, wire = m.floats, m.floats
+		}
+		if alloc {
+			if wire != nil {
+				dst[i] = wire // decoded wire buffer becomes the caller's slice
+				wire = nil
+			} else {
+				dst[i] = append([]float64(nil), v...)
+			}
+		} else {
+			if len(dst[i]) != len(v) {
+				panic(fmt.Sprintf("comm: allgather dst[%d] len %d, contribution len %d", i, len(dst[i]), len(v)))
+			}
+			copy(dst[i], v)
+		}
+		total += int64(len(v))
+		g.w.pool.put(wire)
+	}
+	totalBytes := total * machine.BytesPerElem
+	ownBytes := int64(len(data)) * machine.BytesPerElem
+	if g.Size() > 1 {
+		g.w.stats.addSend(r.ID, ownBytes, int64(g.Size()-1))
+		g.w.stats.addRecv(r.ID, totalBytes-ownBytes)
+	}
+	r.chargeComm(phase, g.w.Params.AllGatherTime(totalBytes, g.Size()))
+	return dst
+}
+
+// netAllToAllv is the wire personalized exchange: send[j] travels to member
+// j (empty buckets included, so every pair stays frame-aligned); member j's
+// contribution lands in recv[j]. Mis-sized buckets panic, as in-process.
+func (g *Group) netAllToAllv(r *Rank, me int, send, recv [][]float64, phase string) [][]float64 {
+	nw := g.w.net
+	for j := range g.members {
+		if j != me {
+			nw.sendFloats(g.members[j], laneColl, tagAllToAllv, send[j])
+		}
+	}
+	alloc := recv == nil
+	if alloc {
+		recv = make([][]float64, g.Size())
+	}
+	var sendElems, recvElems int64
+	partners := 0
+	for j := range g.members {
+		theirs, wire := send[me], []float64(nil)
+		if j != me {
+			m := nw.recvColl(g.members[j], tagAllToAllv)
+			theirs, wire = m.floats, m.floats
+		}
+		if alloc {
+			if wire != nil {
+				recv[j] = wire
+				wire = nil
+			} else {
+				recv[j] = append([]float64(nil), theirs...)
+			}
+		} else {
+			if len(recv[j]) != len(theirs) {
+				panic(fmt.Sprintf("comm: alltoallv recv[%d] len %d, payload len %d", j, len(recv[j]), len(theirs)))
+			}
+			copy(recv[j], theirs)
+		}
+		if j != me {
+			recvElems += int64(len(theirs))
+			sendElems += int64(len(send[j]))
+			if len(theirs) > 0 || len(send[j]) > 0 {
+				partners++
+			}
+		}
+		g.w.pool.put(wire)
+	}
+	sendBytes := sendElems * machine.BytesPerElem
+	recvBytes := recvElems * machine.BytesPerElem
+	g.w.stats.addSend(r.ID, sendBytes, int64(partners))
+	g.w.stats.addRecv(r.ID, recvBytes)
+	r.chargeComm(phase, g.w.Params.AllToAllvTime(sendBytes, recvBytes, partners))
+	return recv
+}
+
+// netAllToAllvInts is netAllToAllv for int payloads (setup-time index
+// exchange).
+func (g *Group) netAllToAllvInts(r *Rank, me int, send [][]int, phase string) [][]int {
+	nw := g.w.net
+	for j := range g.members {
+		if j != me {
+			nw.sendInts(g.members[j], laneColl, tagAllToAllvInts, send[j])
+		}
+	}
+	out := make([][]int, g.Size())
+	var sendElems, recvElems int64
+	partners := 0
+	for j := range g.members {
+		var theirs []int
+		if j == me {
+			theirs = send[me]
+			out[j] = append([]int(nil), theirs...)
+		} else {
+			m := nw.recvColl(g.members[j], tagAllToAllvInts)
+			theirs = m.ints
+			out[j] = theirs // decoded wire slice becomes the caller's
+		}
+		if j != me {
+			recvElems += int64(len(theirs))
+			sendElems += int64(len(send[j]))
+			if len(theirs) > 0 || len(send[j]) > 0 {
+				partners++
+			}
+		}
+	}
+	g.w.stats.addSend(r.ID, sendElems*machine.BytesPerElem, int64(partners))
+	g.w.stats.addRecv(r.ID, recvElems*machine.BytesPerElem)
+	r.chargeComm(phase, g.w.Params.AllToAllvTime(sendElems*machine.BytesPerElem, recvElems*machine.BytesPerElem, partners))
+	return out
+}
+
+// netBarrier synchronizes the group over the wire: every member reports to
+// member 0, which releases them once all have arrived. Like the in-process
+// barrier it charges no time and no volume (synchronization, not data).
+func (g *Group) netBarrier(r *Rank, me int) {
+	nw := g.w.net
+	if me == 0 {
+		for i := 1; i < g.Size(); i++ {
+			m := nw.recvColl(g.members[i], tagBarrier)
+			g.w.pool.put(m.floats)
+		}
+		for i := 1; i < g.Size(); i++ {
+			nw.sendFloats(g.members[i], laneColl, tagBarrierAck, nil)
+		}
+		return
+	}
+	nw.sendFloats(g.members[0], laneColl, tagBarrier, nil)
+	m := nw.recvColl(g.members[0], tagBarrierAck)
+	g.w.pool.put(m.floats)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"sagnn/internal/comm"
+	"sagnn/internal/machine"
+)
+
+// BenchReport is the machine-readable benchmark artifact behind
+// `gnnbench -bench -json` (written as BENCH_<dataset>.json): one training
+// measurement — modeled epoch time, its per-phase breakdown, the measured
+// communication volume — plus the α–β parameters fitted by the calibration
+// probe, so downstream tooling can re-price candidates with Estimate under
+// the same constants the run was modeled with.
+type BenchReport struct {
+	Name        string             `json:"name"`
+	P           int                `json:"p"`
+	C           int                `json:"c"`
+	Scheme      string             `json:"scheme"`
+	Epochs      int                `json:"epochs"`
+	EpochSec    float64            `json:"epoch_sec"`
+	PhaseSec    map[string]float64 `json:"phase_sec"`
+	AvgSentMB   float64            `json:"avg_sent_mb_per_epoch"`
+	MaxSentMB   float64            `json:"max_sent_mb_per_epoch"`
+	TotalRecvMB float64            `json:"total_recv_mb_per_epoch"`
+	FinalLoss   float64            `json:"final_loss"`
+	// Alpha/Beta are fitted by the ping-pong probe (comm.Calibrate) on a
+	// simulated world of the same size — on the simulated backend the fit
+	// recovers the configured machine constants, documenting exactly which
+	// α–β the EpochSec figures were priced with. Zero when P < 2 (the probe
+	// needs two ranks).
+	AlphaSec        float64 `json:"alpha_sec"`
+	BetaSecPerByte  float64 `json:"beta_sec_per_byte"`
+	BandwidthGBPerS float64 `json:"bandwidth_gb_per_s"`
+}
+
+// Bench runs one training measurement (Run) and attaches the calibration
+// probe's fitted α–β.
+func Bench(cfg RunConfig) (BenchReport, error) {
+	cfg = cfg.withDefaults()
+	res := Run(cfg)
+	rep := BenchReport{
+		Name:        string(cfg.Dataset),
+		P:           cfg.P,
+		C:           cfg.C,
+		Scheme:      string(cfg.Scheme),
+		Epochs:      cfg.Epochs,
+		EpochSec:    res.EpochSec,
+		PhaseSec:    res.Breakdown,
+		AvgSentMB:   res.AvgSentMB,
+		MaxSentMB:   res.MaxSentMB,
+		TotalRecvMB: res.TotalRecvMB,
+		FinalLoss:   res.FinalLoss,
+	}
+	if cfg.P >= 2 {
+		cal, err := comm.Calibrate(comm.NewWorld(cfg.P, machine.Perlmutter()), comm.DefaultCalibrationSizes(), 0)
+		if err != nil {
+			return BenchReport{}, err
+		}
+		rep.AlphaSec, rep.BetaSecPerByte = cal.Alpha, cal.Beta
+		if cal.Beta > 0 {
+			rep.BandwidthGBPerS = 1 / (cal.Beta * 1e9)
+		}
+	}
+	return rep, nil
+}

@@ -121,6 +121,15 @@ func new2D(w *comm.World, name string, aHat *sparse.CSR, f int) (*distmm.SpMM2D,
 // the executed multiply certifies volumes byte-for-byte and modeled time
 // against the mode's own cost model.
 func EstimateTable(preset gen.Preset, scaleDiv, p int, seed int64, mode distmm.ExecMode) []EstimateRow {
+	return EstimateTableWith(preset, scaleDiv, p, seed, mode, machine.Perlmutter())
+}
+
+// EstimateTableWith is EstimateTable under explicit machine parameters — the
+// ingestion point for calibration: pass α–β fitted from measured transfers
+// (comm.Calibrate / machine.FitAlphaBeta) and every candidate is priced
+// against the actual hardware instead of the paper's assumed constants, so
+// the winner read off the table is the one AlgorithmAuto would select there.
+func EstimateTableWith(preset gen.Preset, scaleDiv, p int, seed int64, mode distmm.ExecMode, params machine.Params) []EstimateRow {
 	ds := loadDataset(preset, seed, scaleDiv)
 	n := ds.G.NumVertices()
 	widths := estWidths(ds)
@@ -138,7 +147,7 @@ func EstimateTable(preset gen.Preset, scaleDiv, p int, seed int64, mode distmm.E
 			rows = append(rows, row)
 			continue
 		}
-		w := comm.NewWorld(p, machine.Perlmutter())
+		w := comm.NewWorld(p, params)
 		if spec.TwoD {
 			fill2DRow(&row, w, aHat, h, widths, f0, mode)
 		} else {

@@ -288,13 +288,16 @@ type Stepper struct {
 }
 
 // Stepper builds the persistent per-rank training state (in parallel, one
-// goroutine per rank) and returns the step-wise driver positioned at epoch 0.
+// goroutine per hosted rank) and returns the step-wise driver positioned at
+// epoch 0. On a multi-process (TCP) world only the hosted rank's slot is
+// populated; replicas are identical across ranks, so the local one stands in
+// for "the" model everywhere rank 0's used to.
 func (d *Distributed) Stepper() *Stepper {
 	st := &Stepper{d: d, ranks: make([]*rankState, d.World.P)}
 	d.World.Run(func(r *comm.Rank) {
 		st.ranks[r.ID] = d.newRankState(r)
 	})
-	st.d.FinalModel = st.ranks[0].model
+	st.d.FinalModel = st.ranks[d.World.LocalRank()].model
 	return st
 }
 
@@ -327,11 +330,12 @@ func (st *Stepper) StepNCtx(ctx context.Context, n int) ([]EpochResult, error) {
 		return nil, ErrInconsistent
 	}
 	results := make([]EpochResult, n)
+	recorder := st.d.World.LocalRank() // loss/acc are identical on every rank
 	err := st.d.World.RunCtx(ctx, func(r *comm.Rank) error {
 		rs := st.ranks[r.ID]
 		for e := 0; e < n; e++ {
 			loss, acc := st.d.rankEpoch(r, rs)
-			if r.ID == 0 {
+			if r.ID == recorder {
 				results[e] = EpochResult{Epoch: st.epoch + e, Loss: loss, TrainAcc: acc}
 			}
 		}
@@ -351,16 +355,17 @@ func (st *Stepper) Epoch() int { return st.epoch }
 // SetEpoch overrides the epoch counter; used when restoring a checkpoint.
 func (st *Stepper) SetEpoch(e int) { st.epoch = e }
 
-// Model returns rank 0's live weight replica (identical on every rank).
-// Callers must not mutate it while training continues; Clone first.
-func (st *Stepper) Model() *Model { return st.ranks[0].model }
+// Model returns the local rank's live weight replica (identical on every
+// rank). Callers must not mutate it while training continues; Clone first.
+func (st *Stepper) Model() *Model { return st.ranks[st.d.World.LocalRank()].model }
 
 // SetModel replaces every rank's weight replica with an independent copy of
 // m and resets optimizer state, restoring the trainer to the checkpointed
 // parameters. It errors (before touching any rank state) if the model's
 // shape does not match the trainer's layer dimensions.
 func (st *Stepper) SetModel(m *Model) error {
-	have := st.ranks[0].model
+	local := st.d.World.LocalRank()
+	have := st.ranks[local].model
 	if len(m.Weights) != len(have.Weights) {
 		return fmt.Errorf("gcn: restore %d layers into %d-layer trainer", len(m.Weights), len(have.Weights))
 	}
@@ -371,10 +376,13 @@ func (st *Stepper) SetModel(m *Model) error {
 		}
 	}
 	for _, rs := range st.ranks {
+		if rs == nil {
+			continue // rank hosted by another process (TCP transport)
+		}
 		rs.model = m.Clone()
 		rs.optimizer = rs.newOpt()
 	}
-	st.d.FinalModel = st.ranks[0].model
+	st.d.FinalModel = st.ranks[local].model
 	// Every replica is again a byte-identical copy of m with fresh optimizer
 	// state: whatever divergence an aborted epoch caused is gone.
 	st.dirty = false

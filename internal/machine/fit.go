@@ -1,0 +1,57 @@
+package machine
+
+import "fmt"
+
+// FitSample is one calibration observation: a transfer of Bytes logical
+// bytes (machine.BytesPerElem per element, the unit every cost formula
+// prices) measured at Seconds one-way time. Using logical bytes makes the
+// fitted β directly consumable by the cost model even when the wire encoding
+// moves a different number of physical bytes per element — the constant
+// factor is absorbed into β.
+type FitSample struct {
+	Bytes   int64
+	Seconds float64
+}
+
+// FitAlphaBeta fits the postal model T(n) = α + β·n to measured transfer
+// samples by ordinary least squares over (bytes, seconds). This is the
+// ingestion point for measured machine parameters: the calibration probe
+// produces the samples, the fit feeds Params.Alpha/Beta, and AlgorithmAuto
+// then selects against actual hardware instead of assumed constants.
+//
+// At least two samples with distinct sizes are required (the model has two
+// degrees of freedom). Exact model-generated data is recovered to floating-
+// point precision; noisy measurements can produce a slightly negative
+// intercept or slope, which is clamped to zero (a latency or inverse
+// bandwidth below zero is physically meaningless).
+func FitAlphaBeta(samples []FitSample) (alpha, beta float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("machine: α–β fit needs at least 2 samples, got %d", len(samples))
+	}
+	var meanX, meanY float64
+	for _, s := range samples {
+		meanX += float64(s.Bytes)
+		meanY += s.Seconds
+	}
+	n := float64(len(samples))
+	meanX /= n
+	meanY /= n
+	var sxx, sxy float64
+	for _, s := range samples {
+		dx := float64(s.Bytes) - meanX
+		sxx += dx * dx
+		sxy += dx * (s.Seconds - meanY)
+	}
+	if sxx == 0 {
+		return 0, 0, fmt.Errorf("machine: α–β fit needs at least 2 distinct transfer sizes")
+	}
+	beta = sxy / sxx
+	alpha = meanY - beta*meanX
+	if alpha < 0 {
+		alpha = 0
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	return alpha, beta, nil
+}

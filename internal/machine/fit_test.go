@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitAlphaBetaExactRecovery(t *testing.T) {
+	const alpha, beta = 5e-6, 4e-11
+	var samples []FitSample
+	for _, n := range []int64{1024, 4096, 65536, 1048576} {
+		samples = append(samples, FitSample{Bytes: n, Seconds: alpha + beta*float64(n)})
+	}
+	a, b, err := FitAlphaBeta(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-alpha) > 1e-9*alpha {
+		t.Errorf("α = %g, want %g", a, alpha)
+	}
+	if math.Abs(b-beta) > 1e-9*beta {
+		t.Errorf("β = %g, want %g", b, beta)
+	}
+}
+
+func TestFitAlphaBetaClampsNegative(t *testing.T) {
+	// A noisy pair whose exact line has a negative intercept.
+	a, b, err := FitAlphaBeta([]FitSample{
+		{Bytes: 1000, Seconds: 1e-6},
+		{Bytes: 2000, Seconds: 3e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 {
+		t.Errorf("negative intercept not clamped: α = %g", a)
+	}
+	if b <= 0 {
+		t.Errorf("β = %g, want positive", b)
+	}
+}
+
+func TestFitAlphaBetaErrors(t *testing.T) {
+	if _, _, err := FitAlphaBeta([]FitSample{{Bytes: 1, Seconds: 1}}); err == nil {
+		t.Error("one sample: want error")
+	}
+	if _, _, err := FitAlphaBeta([]FitSample{
+		{Bytes: 64, Seconds: 1}, {Bytes: 64, Seconds: 2},
+	}); err == nil {
+		t.Error("identical sizes: want error")
+	}
+}

@@ -1,0 +1,403 @@
+package sagnn
+
+// Multi-process transport tests: the conformance suite proves the TCP
+// backend computes bit-for-bit what the simulated communicator computes —
+// same losses, same trained weights, same per-rank logical volume ledger —
+// for every trainable engine under both plan executors; the chaos suite
+// SIGKILLs a rank mid-epoch and requires every survivor to surface the
+// typed *comm.RankError (cause comm.ErrPeerDisconnected) within a bounded
+// deadline and shut down without leaking goroutines.
+//
+// Both suites re-execute the test binary: the parent runs the reference
+// schedule on the simulated transport and spawns one child per rank with
+// -test.run pinned to the helper, which drops into worker mode via env.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sagnn/internal/comm"
+)
+
+const (
+	tcpEnvMode  = "SAGNN_TCP_MODE"
+	tcpEnvRank  = "SAGNN_TCP_RANK"
+	tcpEnvPeers = "SAGNN_TCP_PEERS"
+	tcpEnvOut   = "SAGNN_TCP_OUT"
+	tcpEnvReady = "SAGNN_TCP_READY"
+)
+
+// confRun is one configuration's observable outcome. Losses are IEEE-754
+// bits (hex) so JSON cannot round them; Model is a digest of the serialized
+// trained weights; Sent/Recv are the logical volume ledger rows this process
+// can vouch for (all ranks on sim, the hosted rank on TCP).
+type confRun struct {
+	Name   string           `json:"name"`
+	Losses []string         `json:"losses"`
+	Model  string           `json:"model"`
+	Sent   map[string]int64 `json:"sent"`
+	Recv   map[string]int64 `json:"recv"`
+}
+
+type confConfig struct {
+	name string
+	alg  Algorithm
+	c    int
+	exec ExecMode
+}
+
+func conformanceConfigs() []confConfig {
+	var out []confConfig
+	for _, e := range []struct {
+		tag  string
+		mode ExecMode
+	}{{"seq", ExecSequential}, {"overlap", ExecOverlap}} {
+		for _, a := range []struct {
+			alg Algorithm
+			c   int
+		}{
+			{Oblivious1D, 1},
+			{SparsityAware1D, 1},
+			{Oblivious15D, 2},
+			{SparsityAware15D, 2},
+		} {
+			out = append(out, confConfig{
+				name: fmt.Sprintf("%s/c%d/%s", a.alg, a.c, e.tag),
+				alg:  a.alg, c: a.c, exec: e.mode,
+			})
+		}
+	}
+	return out
+}
+
+const (
+	confDataset  = "protein-sim"
+	confScaleDiv = 64
+	confEpochs   = 3
+	confSeed     = 1
+)
+
+// runConformanceSchedule runs every engine × exec mode on cl and records
+// losses, trained weights, and this cluster's volume-ledger rows per config.
+// The schedule is identical on every process and transport by construction.
+func runConformanceSchedule(t *testing.T, cl *Cluster, ds *Dataset) []confRun {
+	t.Helper()
+	var out []confRun
+	for _, cfg := range conformanceConfigs() {
+		dg, err := cl.Distribute(ds, DistOpts{
+			Algorithm:   cfg.alg,
+			Replication: cfg.c,
+			Partitioner: NewGVB(confSeed),
+			Exec:        cfg.exec,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		sess, err := dg.NewSession(ModelConfig{Seed: confSeed})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		v0 := cl.world.Stats().Snapshot()
+		res, err := sess.Run(context.Background(), confEpochs)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		vol := cl.world.Stats().Snapshot().Sub(v0)
+		run := confRun{
+			Name: cfg.name,
+			Sent: map[string]int64{},
+			Recv: map[string]int64{},
+		}
+		for _, e := range res.History {
+			run.Losses = append(run.Losses, fmt.Sprintf("%016x", math.Float64bits(e.Loss)))
+		}
+		blob, err := res.Model.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		run.Model = fmt.Sprintf("%x", sha256.Sum256(blob))
+		for _, r := range cl.world.Hosted() {
+			key := strconv.Itoa(r)
+			run.Sent[key] = vol.BytesSent(r)
+			run.Recv[key] = vol.BytesRecv(r)
+		}
+		out = append(out, run)
+	}
+	return out
+}
+
+// TestTCPHelperProcess is the worker body behind the multi-process tests. It
+// is a no-op unless the parent set the SAGNN_TCP_* environment; then it
+// builds a TCP cluster hosting its assigned rank and runs the requested
+// scenario, reporting through its JSON out-file and its own exit status.
+func TestTCPHelperProcess(t *testing.T) {
+	mode := os.Getenv(tcpEnvMode)
+	if mode == "" {
+		t.Skip("worker half of the TCP transport tests; driven by TestTCPConformance / TestTCPChaosKillRank")
+	}
+	rank, err := strconv.Atoi(os.Getenv(tcpEnvRank))
+	if err != nil {
+		t.Fatalf("bad %s: %v", tcpEnvRank, err)
+	}
+	peers := strings.Split(os.Getenv(tcpEnvPeers), ",")
+	ds := MustLoadDataset(confDataset, confSeed, confScaleDiv)
+
+	base := runtime.NumGoroutine()
+	cl, err := NewTCPCluster(rank, peers)
+	if err != nil {
+		t.Fatalf("rank %d rendezvous: %v", rank, err)
+	}
+
+	switch mode {
+	case "conformance":
+		runs := runConformanceSchedule(t, cl, ds)
+		blob, err := json.Marshal(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(os.Getenv(tcpEnvOut), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	case "chaos":
+		dg, err := cl.Distribute(ds, DistOpts{Algorithm: SparsityAware1D, Partitioner: NewGVB(confSeed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var once sync.Once
+		sess, err := dg.NewSession(ModelConfig{Seed: confSeed}, WithEpochCallback(func(EpochResult) error {
+			once.Do(func() {
+				if err := os.WriteFile(os.Getenv(tcpEnvReady), []byte("ready\n"), 0o644); err != nil {
+					t.Errorf("ready marker: %v", err)
+				}
+			})
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Far more epochs than the parent lets us live: the run ends when the
+		// victim is killed and the abort propagates.
+		_, runErr := sess.Run(context.Background(), 1<<30)
+		var re *comm.RankError
+		if !errors.As(runErr, &re) {
+			t.Fatalf("rank %d: want *comm.RankError after peer kill, got %v", rank, runErr)
+		}
+		if !errors.Is(runErr, comm.ErrPeerDisconnected) {
+			t.Fatalf("rank %d: want cause comm.ErrPeerDisconnected, got %v", rank, runErr)
+		}
+		if err := os.WriteFile(os.Getenv(tcpEnvOut),
+			[]byte(fmt.Sprintf("rank-error from rank %d: %v\n", re.Rank, runErr)), 0o644); err != nil {
+			t.Error(err)
+		}
+		cl.Close()
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+	waitGoroutinesSettle(t, base+2, 10*time.Second)
+}
+
+// TestTCPConformance runs the full engine × exec-mode schedule as 4 real OS
+// processes over localhost TCP and as the in-process simulated world, and
+// requires bit-identical losses and trained weights plus an identical
+// per-rank logical volume ledger.
+func TestTCPConformance(t *testing.T) {
+	if os.Getenv(tcpEnvMode) != "" {
+		t.Skip("inside a worker process")
+	}
+	const p = 4
+	dir := t.TempDir()
+	addrs := freeAddrs(t, p)
+
+	outs := make([]string, p)
+	cmds := make([]*exec.Cmd, p)
+	for i := 0; i < p; i++ {
+		outs[i] = filepath.Join(dir, fmt.Sprintf("rank%d.json", i))
+		cmds[i] = workerCmd(t, "conformance", i, addrs, outs[i], "")
+		if err := cmds[i].Start(); err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+
+	// Reference: the same schedule on the simulated transport.
+	simCl, err := NewCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runConformanceSchedule(t, simCl, MustLoadDataset(confDataset, confSeed, confScaleDiv))
+
+	for i, cmd := range cmds {
+		if err := waitCmd(cmd, 3*time.Minute); err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	for i := range cmds {
+		blob, err := os.ReadFile(outs[i])
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		var runs []confRun
+		if err := json.Unmarshal(blob, &runs); err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		if len(runs) != len(ref) {
+			t.Fatalf("rank %d: %d runs, reference has %d", i, len(runs), len(ref))
+		}
+		for k, run := range runs {
+			want := ref[k]
+			if run.Name != want.Name {
+				t.Fatalf("rank %d run %d: %s vs reference %s", i, k, run.Name, want.Name)
+			}
+			if fmt.Sprint(run.Losses) != fmt.Sprint(want.Losses) {
+				t.Errorf("rank %d %s: losses %v, sim %v — transports diverged", i, run.Name, run.Losses, want.Losses)
+			}
+			if run.Model != want.Model {
+				t.Errorf("rank %d %s: trained weights differ from sim", i, run.Name)
+			}
+			key := strconv.Itoa(i)
+			if run.Sent[key] != want.Sent[key] || run.Recv[key] != want.Recv[key] {
+				t.Errorf("rank %d %s: volume ledger sent=%d recv=%d, sim sent=%d recv=%d",
+					i, run.Name, run.Sent[key], run.Recv[key], want.Sent[key], want.Recv[key])
+			}
+		}
+	}
+}
+
+// TestTCPChaosKillRank SIGKILLs one rank mid-epoch and requires every
+// survivor to exit cleanly — typed *comm.RankError observed, transport
+// closed, goroutines settled — within a bounded deadline.
+func TestTCPChaosKillRank(t *testing.T) {
+	if os.Getenv(tcpEnvMode) != "" {
+		t.Skip("inside a worker process")
+	}
+	const p, victim = 4, 2
+	dir := t.TempDir()
+	addrs := freeAddrs(t, p)
+
+	readies := make([]string, p)
+	outs := make([]string, p)
+	cmds := make([]*exec.Cmd, p)
+	for i := 0; i < p; i++ {
+		readies[i] = filepath.Join(dir, fmt.Sprintf("ready%d", i))
+		outs[i] = filepath.Join(dir, fmt.Sprintf("out%d", i))
+		cmds[i] = workerCmd(t, "chaos", i, addrs, outs[i], readies[i])
+		if err := cmds[i].Start(); err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	// Every rank has completed at least one epoch: training is in flight.
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, ready := range readies {
+		for {
+			if _, err := os.Stat(ready); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("workers not ready after 2m (%s missing)", ready)
+			}
+			<-time.After(20 * time.Millisecond)
+		}
+	}
+	if err := cmds[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	waitCmd(cmds[victim], time.Minute) // reaps the SIGKILL exit
+
+	// Bounded-deadline recovery: every survivor's helper test must pass —
+	// which asserts the typed error — and exit within 30 seconds.
+	for i, cmd := range cmds {
+		if i == victim {
+			continue
+		}
+		if err := waitCmd(cmd, 30*time.Second); err != nil {
+			t.Errorf("survivor rank %d: %v", i, err)
+		}
+		blob, err := os.ReadFile(outs[i])
+		if err != nil {
+			t.Errorf("survivor rank %d wrote no report: %v", i, err)
+			continue
+		}
+		if !strings.Contains(string(blob), "rank-error") {
+			t.Errorf("survivor rank %d report: %s", i, blob)
+		}
+	}
+}
+
+// workerCmd builds the re-exec command for one worker rank.
+func workerCmd(t *testing.T, mode string, rank int, addrs []string, out, ready string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestTCPHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		tcpEnvMode+"="+mode,
+		tcpEnvRank+"="+strconv.Itoa(rank),
+		tcpEnvPeers+"="+strings.Join(addrs, ","),
+		tcpEnvOut+"="+out,
+		tcpEnvReady+"="+ready,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// waitCmd waits for cmd with a deadline.
+func waitCmd(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		return fmt.Errorf("did not exit within %v", timeout)
+	}
+}
+
+// freeAddrs reserves n distinct localhost ports by binding and immediately
+// releasing them; the small reuse window is acceptable for tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// waitGoroutinesSettle polls until the process goroutine count returns to
+// want or the deadline passes (then dumps all stacks).
+func waitGoroutinesSettle(t *testing.T, want int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines did not settle: %d > %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
+		}
+		<-time.After(20 * time.Millisecond)
+	}
+}
