@@ -197,6 +197,13 @@ type DistOpts struct {
 	// selects the minimum modeled epoch cost under this mode, and the
 	// candidate tables price both modes so the decision is auditable.
 	Exec ExecMode
+	// Sampling, if non-nil, configures neighbor-sampled mini-batch training
+	// for sessions on this graph: Session.RunSampled draws per-rank
+	// GraphSAGE-style batches with these parameters and compiles each
+	// batch's halo exchange into a Plan instruction stream. Zero fields take
+	// the defaults documented on SamplingConfig. Full-batch training
+	// (Session.Run) is unaffected.
+	Sampling *SamplingConfig
 	// VerifyPlans runs the static plan verifier (distmm.Verify) on the
 	// compiled communication schedule before Distribute returns: message
 	// matching, deadlock freedom, overlap soundness, and layout consistency
@@ -207,6 +214,35 @@ type DistOpts struct {
 	// algorithms. Verification walks the plan once and allocates only
 	// bounded bookkeeping, so it is cheap next to plan compilation.
 	VerifyPlans bool
+}
+
+// SamplingConfig configures neighbor-sampled mini-batch training
+// (DistOpts.Sampling / Session.RunSampled). Sampling is deterministic per
+// launch: every batch's neighbor draws are seeded by (Seed, rank, epoch,
+// step), so losses are bit-identical across the sim and TCP transports and
+// across retries after a fault rollback.
+type SamplingConfig struct {
+	// Fanout is the number of sampled neighbors per vertex per layer
+	// (default 5).
+	Fanout int
+	// BatchSize is the per-rank mini-batch size over the rank's own
+	// training vertices (default 256).
+	BatchSize int
+	// Seed roots the sampling streams (default: the session's weight seed).
+	Seed int64
+}
+
+func (c SamplingConfig) withDefaults(modelSeed int64) SamplingConfig {
+	if c.Fanout == 0 {
+		c.Fanout = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = modelSeed
+	}
+	return c
 }
 
 // DistGraph is a dataset distributed across a cluster: the permuted

@@ -51,8 +51,10 @@ func main() {
 	estimate := flag.Bool("estimate", false, "print the predicted-vs-measured cost table (no training) and exit")
 	procs := flag.Int("p", 16, "process count for -estimate and -bench")
 	execMode := flag.String("exec", "seq", "plan executor for the measured multiply of -estimate: seq (stage by stage) or overlap (pipelined)")
-	bench := flag.Bool("bench", false, "run one training benchmark (SA+GVB) and report epoch time, per-phase cost, comm volume, fitted α–β")
+	bench := flag.Bool("bench", false, "run one training benchmark (SA+GVB), full-batch and sampled, and report epoch time, per-phase cost, comm volume, fitted α–β")
 	epochs := flag.Int("epochs", 4, "epochs for -bench")
+	fanout := flag.Int("fanout", 5, "with -bench: sampled neighbors per vertex per layer for the sampled half")
+	batch := flag.Int("batch", 256, "with -bench: per-rank mini-batch size for the sampled half")
 	jsonOut := flag.Bool("json", false, "with -bench: also write the report to BENCH_<dataset>.json")
 	calib := flag.Bool("calibrate", false, "fit α–β with the calibration probe (simulated backend) and price -estimate with the fitted values")
 	alphaF := flag.Float64("alpha", 0, "override machine α in seconds for -estimate (e.g. a value measured by `train -transport tcp -calibrate`)")
@@ -65,7 +67,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-p must be a positive process count, got %d\n", *procs)
 			os.Exit(2)
 		}
-		runBench(*dataset, *scaleDiv, *procs, *epochs, *seed, *jsonOut)
+		runBench(*dataset, *scaleDiv, *procs, *epochs, *fanout, *batch, *seed, *jsonOut)
 		fmt.Printf("\ncompleted in %v\n", time.Since(t0).Round(time.Millisecond))
 		return
 	}
@@ -167,29 +169,42 @@ func runEstimate(dataset string, scaleDiv, p int, seed int64, mode distmm.ExecMo
 	}
 }
 
-func runBench(dataset string, scaleDiv, p, epochs int, seed int64, writeJSON bool) {
+func printPhases(phases map[string]float64) {
+	names := make([]string, 0, len(phases))
+	for ph := range phases {
+		names = append(names, ph)
+	}
+	sort.Strings(names)
+	for _, ph := range names {
+		fmt.Printf("  %-10s %.5fs\n", ph, phases[ph])
+	}
+}
+
+func runBench(dataset string, scaleDiv, p, epochs, fanout, batch int, seed int64, writeJSON bool) {
 	for _, ds := range datasetsOr(dataset, []gen.Preset{gen.ProteinSim}) {
-		rep, err := experiments.Bench(experiments.RunConfig{
-			Dataset:  ds,
-			ScaleDiv: scaleDiv,
-			P:        p,
-			Scheme:   experiments.SchemeSAGVB,
-			Epochs:   epochs,
-			Seed:     seed,
+		rep, err := experiments.BenchSampled(experiments.SampledRunConfig{
+			RunConfig: experiments.RunConfig{
+				Dataset:  ds,
+				ScaleDiv: scaleDiv,
+				P:        p,
+				Scheme:   experiments.SchemeSAGVB,
+				Epochs:   epochs,
+				Seed:     seed,
+			},
+			Fanout:    fanout,
+			BatchSize: batch,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fmt.Printf("bench %s: P=%d epochs=%d  epoch %.5fs  sent avg %.2f / max %.2f MB  loss %.4f\n",
-			rep.Name, rep.P, rep.Epochs, rep.EpochSec, rep.AvgSentMB, rep.MaxSentMB, rep.FinalLoss)
-		phases := make([]string, 0, len(rep.PhaseSec))
-		for ph := range rep.PhaseSec {
-			phases = append(phases, ph)
-		}
-		sort.Strings(phases)
-		for _, ph := range phases {
-			fmt.Printf("  %-10s %.5fs\n", ph, rep.PhaseSec[ph])
+		fmt.Printf("bench %s: P=%d epochs=%d  epoch %.5fs  sent avg %.2f / max %.2f MB  loss %.4f  test acc %.3f\n",
+			rep.Name, rep.P, rep.Epochs, rep.EpochSec, rep.AvgSentMB, rep.MaxSentMB, rep.FinalLoss, rep.TestAcc)
+		printPhases(rep.PhaseSec)
+		if s := rep.Sampled; s != nil {
+			fmt.Printf("sampled (fanout=%d batch=%d): epoch %.5fs  sent avg %.2f / max %.2f MB  loss %.4f  test acc %.3f\n",
+				s.Fanout, s.BatchSize, s.EpochSec, s.AvgSentMB, s.MaxSentMB, s.FinalLoss, s.TestAcc)
+			printPhases(s.PhaseSec)
 		}
 		fmt.Printf("  fitted α = %.3e s, β = %.3e s/B (%.2f GB/s)\n",
 			rep.AlphaSec, rep.BetaSecPerByte, rep.BandwidthGBPerS)

@@ -1,11 +1,15 @@
-// Command train runs distributed full-batch GCN training on a dataset
-// preset through the composable session API (Cluster → Distribute →
-// Session → Predictor) and reports the loss trajectory, accuracy, and
-// modeled performance.
+// Command train runs distributed GCN training on a dataset preset through
+// the composable session API (Cluster → Distribute → Session → Predictor)
+// and reports the loss trajectory, accuracy, and modeled performance.
+// Training is full-batch by default; -sample switches to neighbor-sampled
+// mini-batch epochs (-fanout, -batch), whose per-batch halo exchanges are
+// compiled into the same plan IR and are equally bit-identical across
+// transports.
 //
 // Usage:
 //
 //	train -dataset protein-sim -p 16 -algo sa -partitioner gvb -epochs 50
+//	train -dataset protein-sim -p 4 -sample -fanout 5 -batch 128 -epochs 20
 //
 // The default transport is the in-process simulated communicator. With
 // -transport tcp the same training runs as p real OS processes connected
@@ -46,6 +50,9 @@ func main() {
 	layers := flag.Int("layers", 3, "GCN layers")
 	lr := flag.Float64("lr", 0.05, "learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
+	sampleFlag := flag.Bool("sample", false, "train with neighbor-sampled mini-batches (Session.RunSampled) instead of full-batch epochs; requires -c 1")
+	fanout := flag.Int("fanout", 5, "with -sample: sampled neighbors per vertex per layer")
+	batch := flag.Int("batch", 256, "with -sample: per-rank mini-batch size")
 	transport := flag.String("transport", "sim", "communication backend: sim (in-process) or tcp (one OS process per rank)")
 	rank := flag.Int("rank", -1, "rank hosted by this process under -transport tcp; -1 launches all ranks as child processes")
 	baseport := flag.Int("baseport", 29500, "first TCP port; rank i listens on baseport+i")
@@ -115,11 +122,15 @@ func main() {
 	// Build once: the partitioned + scheduled distributed graph. Under TCP
 	// every process runs this same deterministic setup and compiles the
 	// identical plan.
-	dg, err := cluster.Distribute(ds, sagnn.DistOpts{
+	opts := sagnn.DistOpts{
 		Algorithm:   alg,
 		Replication: *c,
 		Partitioner: part,
-	})
+	}
+	if *sampleFlag {
+		opts.Sampling = &sagnn.SamplingConfig{Fanout: *fanout, BatchSize: *batch, Seed: *seed}
+	}
+	dg, err := cluster.Distribute(ds, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -141,7 +152,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sess.Run(context.Background(), *epochs)
+	var res *sagnn.TrainResult
+	if *sampleFlag {
+		logf("sampled training: fanout %d, batch %d per rank\n", *fanout, *batch)
+		res, err = sess.RunSampled(context.Background(), *epochs)
+	} else {
+		res, err = sess.Run(context.Background(), *epochs)
+	}
 	if err != nil {
 		fatal(err)
 	}

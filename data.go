@@ -179,7 +179,11 @@ func RunMiniBatch(ds *Dataset, epochs int, cfg ModelConfig, opts ...MiniBatchOpt
 		o.fanout, o.batchSize, opt.NewAdam(cfg.LR), cfg.Seed+1)
 	res = &MiniBatchResult{EpochLoss: make([]float64, 0, epochs)}
 	for e := 0; e < epochs; e++ {
-		res.EpochLoss = append(res.EpochLoss, tr.Epoch())
+		loss, err := tr.Epoch()
+		if err != nil {
+			return nil, err
+		}
+		res.EpochLoss = append(res.EpochLoss, loss)
 	}
 	res.TestAcc = tr.Accuracy(ds.G.NormalizedAdjacency(), ds.Test)
 	res.Model = &Model{m: model.Clone()}

@@ -1,6 +1,24 @@
 package comm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"sagnn/internal/machine"
+)
+
+// AllReduceVolume predicts the exact per-rank traffic one AllReduceSumInto
+// of n float64 elements over a group of size members accounts to each
+// participant — the numbers Stats measures, exported so schedule predictors
+// that mix Plan.Volumes with explicit all-reduces (the sampled training
+// loop's loss and gradient reductions) can match the executed ledger
+// byte-exactly.
+func AllReduceVolume(n, size int) (sentBytes, recvBytes, msgs int64) {
+	if size <= 1 {
+		return 0, 0, 0
+	}
+	nb := int64(n) * machine.BytesPerElem
+	return nb, nb, int64(size - 1)
+}
 
 // Stats holds exact per-rank communication volume counters, the raw data
 // behind the paper's Table 2 (average vs maximum send volume and the load

@@ -101,6 +101,12 @@ type Plan struct {
 	blockOf    []int
 	outRows    []int
 	gradGroups []*comm.Group
+	// inRows, when non-nil, pins each rank's dense input (hLocal) height
+	// separately from its accumulator height — the rectangular-plan shape
+	// sampled mini-batch gathers compile to, where a rank owns layout-many
+	// feature rows but accumulates only its batch frontier. nil means the
+	// plan is square: input height equals outRows (the full-batch engines).
+	inRows []int
 	// widths pins each rank's dense operand width (2D plans split the dense
 	// width across the process grid at compile time); nil means the width is
 	// taken from hLocal at execution/prediction time. fFixed is the global
@@ -124,6 +130,15 @@ func (p *Plan) Replication() int { return p.replication }
 
 // Ranks returns the world size the plan is compiled for.
 func (p *Plan) Ranks() int { return len(p.progs) }
+
+// inRowsOf resolves rank's dense input height: pinned for rectangular
+// plans, the accumulator height otherwise.
+func (p *Plan) inRowsOf(rank int) int {
+	if p.inRows == nil {
+		return p.outRows[rank]
+	}
+	return p.inRows[rank]
+}
 
 // widthOf resolves rank's dense operand width for a prediction at global
 // width f, validating f against a width-pinned (2D) plan; asking a pinned

@@ -248,14 +248,29 @@ func newVerifier(p *Plan) (*verifier, error) {
 			return nil, v.err(VerifyStructure, -1, -1, "width-pinned plan with non-positive global width %d", p.fFixed)
 		}
 	}
+	if p.inRows != nil && len(p.inRows) != v.n {
+		return nil, v.err(VerifyStructure, -1, -1, "inRows length %d for %d ranks", len(p.inRows), v.n)
+	}
 	blocks := p.layout.Blocks()
 	for rank := 0; rank < v.n; rank++ {
 		b := p.blockOf[rank]
 		if b < 0 || b >= blocks {
 			return nil, v.err(VerifyLayout, rank, -1, "block row %d outside layout of %d blocks", b, blocks)
 		}
-		if want := p.layout.Count(b); p.outRows[rank] != want {
-			return nil, v.err(VerifyLayout, rank, -1, "output block has %d rows, layout block %d has %d", p.outRows[rank], b, want)
+		if p.inRows == nil {
+			// Square plan: the output block is the layout block.
+			if want := p.layout.Count(b); p.outRows[rank] != want {
+				return nil, v.err(VerifyLayout, rank, -1, "output block has %d rows, layout block %d has %d", p.outRows[rank], b, want)
+			}
+		} else {
+			// Rectangular plan: the dense input is the layout block; the
+			// accumulator height is free (the rank's batch frontier).
+			if want := p.layout.Count(b); p.inRows[rank] != want {
+				return nil, v.err(VerifyLayout, rank, -1, "input block has %d rows, layout block %d has %d", p.inRows[rank], b, want)
+			}
+			if p.outRows[rank] < 0 {
+				return nil, v.err(VerifyLayout, rank, -1, "negative output height %d", p.outRows[rank])
+			}
 		}
 		if p.widths != nil && p.widths[rank] < 0 {
 			return nil, v.err(VerifyLayout, rank, -1, "negative pinned width %d", p.widths[rank])
@@ -272,7 +287,8 @@ func (v *verifier) checkPrograms() error {
 	p := v.p
 	for rank := 0; rank < v.n; rank++ {
 		prog := p.progs[rank]
-		own := p.outRows[rank]
+		own := p.outRows[rank]    // accumulator height
+		hRows := p.inRowsOf(rank) // dense input (hLocal) height
 		var lastA2A *instr
 		reduced := false // a trailing all-reduce has started
 		for site := range prog {
@@ -299,8 +315,8 @@ func (v *verifier) checkPrograms() error {
 				if rootRank < 0 || rootRank >= v.n {
 					return v.err(VerifyStructure, rank, site, "bcast root rank %d outside world of %d", rootRank, v.n)
 				}
-				if in.rows != p.outRows[rootRank] {
-					return v.err(VerifyLayout, rank, site, "bcast stages %d rows, root rank %d holds %d", in.rows, rootRank, p.outRows[rootRank])
+				if in.rows != p.inRowsOf(rootRank) {
+					return v.err(VerifyLayout, rank, site, "bcast stages %d rows, root rank %d holds %d", in.rows, rootRank, p.inRowsOf(rootRank))
 				}
 				if err := v.checkBlock(rank, site, in, own, in.rows); err != nil {
 					return err
@@ -325,8 +341,8 @@ func (v *verifier) checkPrograms() error {
 				}
 				for j := range in.sendIdx {
 					for _, r := range in.sendIdx[j] {
-						if r < 0 || r >= own {
-							return v.err(VerifyLayout, rank, site, "pack index %d outside the rank's %d H rows", r, own)
+						if r < 0 || r >= hRows {
+							return v.err(VerifyLayout, rank, site, "pack index %d outside the rank's %d H rows", r, hRows)
 						}
 					}
 					if in.recvRows[j] < 0 {
@@ -335,7 +351,7 @@ func (v *verifier) checkPrograms() error {
 				}
 				lastA2A = in
 			case opMulOwn:
-				if err := v.checkBlock(rank, site, in, own, own); err != nil {
+				if err := v.checkBlock(rank, site, in, own, hRows); err != nil {
 					return err
 				}
 			case opMulRecvSlot:
@@ -358,8 +374,8 @@ func (v *verifier) checkPrograms() error {
 					return v.err(VerifyStructure, rank, site, "send peer %d invalid in world of %d", in.peer, v.n)
 				}
 				for _, r := range in.idx {
-					if r < 0 || r >= own {
-						return v.err(VerifyLayout, rank, site, "pack index %d outside the rank's %d H rows", r, own)
+					if r < 0 || r >= hRows {
+						return v.err(VerifyLayout, rank, site, "pack index %d outside the rank's %d H rows", r, hRows)
 					}
 				}
 			case opRecvMul:

@@ -23,6 +23,12 @@ type BenchReport struct {
 	MaxSentMB   float64            `json:"max_sent_mb_per_epoch"`
 	TotalRecvMB float64            `json:"total_recv_mb_per_epoch"`
 	FinalLoss   float64            `json:"final_loss"`
+	TestAcc     float64            `json:"test_acc"`
+	// Sampled reports the same measurement for neighbor-sampled mini-batch
+	// epochs over the same data, partition, and machine — the full-batch vs
+	// sampled comparison in one artifact. Nil when the benchmark skipped it
+	// (sampling requires the 1D layout, C == 1).
+	Sampled *SampledBench `json:"sampled,omitempty"`
 	// Alpha/Beta are fitted by the ping-pong probe (comm.Calibrate) on a
 	// simulated world of the same size — on the simulated backend the fit
 	// recovers the configured machine constants, documenting exactly which
@@ -33,10 +39,33 @@ type BenchReport struct {
 	BandwidthGBPerS float64 `json:"bandwidth_gb_per_s"`
 }
 
-// Bench runs one training measurement (Run) and attaches the calibration
-// probe's fitted α–β.
+// SampledBench is the neighbor-sampled half of a BenchReport: per-epoch
+// figures for mini-batch training with the given fanout and batch size,
+// measured over the same data and partition as the full-batch run.
+type SampledBench struct {
+	Fanout      int                `json:"fanout"`
+	BatchSize   int                `json:"batch_size"`
+	EpochSec    float64            `json:"epoch_sec"`
+	PhaseSec    map[string]float64 `json:"phase_sec"`
+	AvgSentMB   float64            `json:"avg_sent_mb_per_epoch"`
+	MaxSentMB   float64            `json:"max_sent_mb_per_epoch"`
+	TotalRecvMB float64            `json:"total_recv_mb_per_epoch"`
+	FinalLoss   float64            `json:"final_loss"`
+	TestAcc     float64            `json:"test_acc"`
+}
+
+// Bench runs one full-batch training measurement (Run), the sampled
+// mini-batch counterpart when the layout allows it (RunSampled, C == 1),
+// and attaches the calibration probe's fitted α–β.
 func Bench(cfg RunConfig) (BenchReport, error) {
-	cfg = cfg.withDefaults()
+	return BenchSampled(SampledRunConfig{RunConfig: cfg})
+}
+
+// BenchSampled is Bench with explicit sampling parameters for the sampled
+// half of the comparison (zero fields take the SampledRunConfig defaults).
+func BenchSampled(scfg SampledRunConfig) (BenchReport, error) {
+	scfg = scfg.withDefaults()
+	cfg := scfg.RunConfig
 	res := Run(cfg)
 	rep := BenchReport{
 		Name:        string(cfg.Dataset),
@@ -50,6 +79,21 @@ func Bench(cfg RunConfig) (BenchReport, error) {
 		MaxSentMB:   res.MaxSentMB,
 		TotalRecvMB: res.TotalRecvMB,
 		FinalLoss:   res.FinalLoss,
+		TestAcc:     res.TestAcc,
+	}
+	if cfg.C == 1 {
+		sres := RunSampled(scfg)
+		rep.Sampled = &SampledBench{
+			Fanout:      scfg.Fanout,
+			BatchSize:   scfg.BatchSize,
+			EpochSec:    sres.EpochSec,
+			PhaseSec:    sres.Breakdown,
+			AvgSentMB:   sres.AvgSentMB,
+			MaxSentMB:   sres.MaxSentMB,
+			TotalRecvMB: sres.TotalRecvMB,
+			FinalLoss:   sres.FinalLoss,
+			TestAcc:     sres.TestAcc,
+		}
 	}
 	if cfg.P >= 2 {
 		cal, err := comm.Calibrate(comm.NewWorld(cfg.P, machine.Perlmutter()), comm.DefaultCalibrationSizes(), 0)

@@ -6,15 +6,20 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"sagnn/internal/comm"
+	"sagnn/internal/dense"
 	"sagnn/internal/distmm"
 	"sagnn/internal/gcn"
 	"sagnn/internal/gen"
 	"sagnn/internal/machine"
+	"sagnn/internal/minibatch"
+	"sagnn/internal/opt"
 	"sagnn/internal/partition"
+	"sagnn/internal/sparse"
 )
 
 // Scheme names a training configuration from the paper's legend.
@@ -89,6 +94,9 @@ type RunResult struct {
 	// FinalLoss verifies the run trained (identical across schemes up to
 	// floating-point reassociation).
 	FinalLoss float64
+	// TestAcc is the trained model's full-batch accuracy on the held-out
+	// test split — the figure the full-batch vs sampled comparison needs.
+	TestAcc float64
 	// Quality is the partition quality if a partitioner was used.
 	Quality *partition.Quality
 }
@@ -126,53 +134,49 @@ func partitionerFor(s Scheme, seed int64) partition.Partitioner {
 	}
 }
 
-// Run executes one configuration end to end: load data, partition, build
-// the world and engine, train, and convert the ledger into per-epoch
-// figures.
-func Run(cfg RunConfig) RunResult {
-	cfg = cfg.withDefaults()
+// runData is a dataset staged for one measurement: (optionally) permuted
+// adjacency, relabeled features/labels/splits, and the block layout — the
+// preparation Run and RunSampled share.
+type runData struct {
+	ds          *gen.Dataset
+	aHat        *sparse.CSR
+	x           *dense.Matrix
+	labels      []int
+	train, test []int
+	layout      distmm.Layout
+	quality     *partition.Quality
+}
+
+// prepareRun stages cfg's dataset for a k-block distribution.
+func prepareRun(cfg RunConfig, k int) runData {
 	ds := loadDataset(cfg.Dataset, cfg.Seed, cfg.ScaleDiv)
-	n := ds.G.NumVertices()
-	k := cfg.P / cfg.C // number of blocks
-
-	aHat := ds.G.NormalizedAdjacency()
-	x, labels, train := ds.Features, ds.Labels, ds.Train
-	var layout distmm.Layout
-	var quality *partition.Quality
-
+	d := runData{
+		ds:     ds,
+		aHat:   ds.G.NormalizedAdjacency(),
+		x:      ds.Features,
+		labels: ds.Labels,
+		train:  ds.Train,
+		test:   ds.Test,
+	}
 	if pt := partitionerFor(cfg.Scheme, cfg.Seed); pt != nil {
 		part := pt.Partition(ds.G, k)
 		q := partition.Evaluate(pt.Name(), ds.G, part)
-		quality = &q
+		d.quality = &q
 		perm := part.Perm()
-		aHat = aHat.PermuteSymmetric(perm)
+		d.aHat = d.aHat.PermuteSymmetric(perm)
 		var sets [][]int
-		x, labels, sets = gcn.ApplyPerm(perm, x, labels, train)
-		train = sets[0]
-		layout = distmm.LayoutFromOffsets(part.Offsets())
+		d.x, d.labels, sets = gcn.ApplyPerm(perm, d.x, d.labels, d.train, d.test)
+		d.train, d.test = sets[0], sets[1]
+		d.layout = distmm.LayoutFromOffsets(part.Offsets())
 	} else {
-		layout = distmm.UniformLayout(n, k)
+		d.layout = distmm.UniformLayout(ds.G.NumVertices(), k)
 	}
+	return d
+}
 
-	world := comm.NewWorld(cfg.P, machine.Perlmutter())
-	var engine distmm.Engine
-	switch {
-	case cfg.Scheme == SchemeCAGNET && cfg.C == 1:
-		engine = distmm.NewOblivious1D(world, aHat, layout)
-	case cfg.Scheme == SchemeCAGNET:
-		engine = distmm.NewOblivious15D(world, aHat, cfg.C, layout)
-	case cfg.C == 1:
-		engine = distmm.NewSparsityAware1D(world, aHat, layout)
-	default:
-		engine = distmm.NewSparsityAware15D(world, aHat, cfg.C, layout)
-	}
-
-	dims := gcn.LayerDims(x.Cols, cfg.Hidden, ds.Classes, cfg.Layers)
-	trainer := gcn.NewDistributed(world, engine, x, labels, train, dims, 0.05, cfg.Seed)
-	results := trainer.TrainEpochs(cfg.Epochs)
-
-	// Per-epoch figures come from an immutable ledger snapshot rather than
-	// rescaling the ledger in place, so the world stays reusable.
+// finishRun converts a world's ledger and counters into per-epoch figures
+// and evaluates the trained model full-batch on the test split.
+func finishRun(cfg RunConfig, d runData, world *comm.World, results []gcn.EpochResult, model *gcn.Model) RunResult {
 	epochs := float64(cfg.Epochs)
 	per := world.Ledger.Snapshot().Scale(1 / epochs)
 	res := RunResult{
@@ -180,7 +184,7 @@ func Run(cfg RunConfig) RunResult {
 		EpochSec:  per.Total(),
 		Breakdown: per.Breakdown(),
 		FinalLoss: results[len(results)-1].Loss,
-		Quality:   quality,
+		Quality:   d.quality,
 	}
 	const mb = 1e6
 	vol := world.Stats().Snapshot()
@@ -190,5 +194,81 @@ func Run(cfg RunConfig) RunResult {
 	if res.AvgSentMB > 0 {
 		res.ImbalancePct = (res.MaxSentMB/res.AvgSentMB - 1) * 100
 	}
+	res.TestAcc = gcn.NewSerial(d.aHat, d.x, d.labels, d.train, model, 0.05).Accuracy(d.test)
 	return res
+}
+
+// Run executes one configuration end to end: load data, partition, build
+// the world and engine, train, and convert the ledger into per-epoch
+// figures.
+func Run(cfg RunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	d := prepareRun(cfg, cfg.P/cfg.C)
+
+	world := comm.NewWorld(cfg.P, machine.Perlmutter())
+	var engine distmm.Engine
+	switch {
+	case cfg.Scheme == SchemeCAGNET && cfg.C == 1:
+		engine = distmm.NewOblivious1D(world, d.aHat, d.layout)
+	case cfg.Scheme == SchemeCAGNET:
+		engine = distmm.NewOblivious15D(world, d.aHat, cfg.C, d.layout)
+	case cfg.C == 1:
+		engine = distmm.NewSparsityAware1D(world, d.aHat, d.layout)
+	default:
+		engine = distmm.NewSparsityAware15D(world, d.aHat, cfg.C, d.layout)
+	}
+
+	dims := gcn.LayerDims(d.x.Cols, cfg.Hidden, d.ds.Classes, cfg.Layers)
+	trainer := gcn.NewDistributed(world, engine, d.x, d.labels, d.train, dims, 0.05, cfg.Seed)
+	st := trainer.Stepper()
+	results, err := st.StepNCtx(context.Background(), cfg.Epochs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: full-batch run failed: %v", err))
+	}
+	return finishRun(cfg, d, world, results, st.Model())
+}
+
+// SampledRunConfig extends a RunConfig with neighbor-sampling parameters
+// for RunSampled.
+type SampledRunConfig struct {
+	RunConfig
+	Fanout    int // sampled neighbors per vertex per layer (default 5)
+	BatchSize int // per-rank batch size (default 256)
+}
+
+func (c SampledRunConfig) withDefaults() SampledRunConfig {
+	c.RunConfig = c.RunConfig.withDefaults()
+	if c.Fanout == 0 {
+		c.Fanout = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	return c
+}
+
+// RunSampled executes one neighbor-sampled mini-batch training measurement
+// over the same staging pipeline as Run: per-rank GraphSAGE sampling with
+// each batch's halo exchange compiled into a Plan. Requires C == 1 (the
+// sampled gather is a 1D exchange). The reported figures are per-epoch like
+// Run's, so the two are directly comparable — the full-batch vs sampled
+// table in EXPERIMENTS.md.
+func RunSampled(cfg SampledRunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	if cfg.C != 1 {
+		panic(fmt.Sprintf("experiments: sampled training needs C=1, got %d", cfg.C))
+	}
+	d := prepareRun(cfg.RunConfig, cfg.P)
+
+	world := comm.NewWorld(cfg.P, machine.Perlmutter())
+	dims := gcn.LayerDims(d.x.Cols, cfg.Hidden, d.ds.Classes, cfg.Layers)
+	dist := minibatch.NewDist(world, d.layout, d.aHat, d.x, d.labels, d.train, dims,
+		cfg.Seed, func() opt.Optimizer { return &opt.SGD{LR: 0.05} },
+		minibatch.DistConfig{Fanout: cfg.Fanout, BatchSize: cfg.BatchSize, Seed: cfg.Seed})
+	st := dist.Stepper()
+	results, err := st.StepNCtx(context.Background(), cfg.Epochs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sampled run failed: %v", err))
+	}
+	return finishRun(cfg.RunConfig, d, world, results, st.Model())
 }

@@ -1,0 +1,191 @@
+package minibatch
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sagnn/internal/comm"
+	"sagnn/internal/dense"
+	"sagnn/internal/distmm"
+	"sagnn/internal/gcn"
+	"sagnn/internal/graph"
+	"sagnn/internal/machine"
+	"sagnn/internal/opt"
+)
+
+// distFixture builds a 4-rank distributed sampled trainer over a ring
+// graph; newOpt selects the shared optimizer family (nil → SGD default).
+func distFixture(seed int64, exec distmm.ExecMode, newOpt func() opt.Optimizer) *Dist {
+	const n, f, classes, p = 64, 8, 4, 4
+	edges := make([][2]int, 0, 2*n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, [2]int{v, (v + 1) % n}, [2]int{v, (v + 7) % n})
+	}
+	g := graph.FromEdges(n, edges).Symmetrize()
+	aHat := g.NormalizedAdjacency()
+	x := dense.NewRandom(rand.New(rand.NewSource(seed)), n, f, 1)
+	labels := make([]int, n)
+	train := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		labels[v] = v % classes
+		if v%2 == 0 {
+			train = append(train, v)
+		}
+	}
+	world := comm.NewWorld(p, machine.Perlmutter())
+	layout := distmm.UniformLayout(n, p)
+	dims := gcn.LayerDims(f, 8, classes, 2)
+	return NewDist(world, layout, aHat, x, labels, train, dims, seed, newOpt,
+		DistConfig{Fanout: 3, BatchSize: 4, Seed: seed, Exec: exec, Verify: true})
+}
+
+// TestDistSampledMatchesReference pins the tentpole's conformance contract:
+// distributed sampled epochs are bit-identical to the serial sampled
+// reference, in both plan exec modes and for both optimizer families.
+func TestDistSampledMatchesReference(t *testing.T) {
+	const epochs = 3
+	opts := map[string]func() opt.Optimizer{
+		"sgd":  nil,
+		"adam": func() opt.Optimizer { return opt.NewAdam(0.01) },
+	}
+	for name, newOpt := range opts {
+		want := distFixture(3, distmm.ExecSequential, newOpt).ReferenceEpochs(epochs)
+		for _, exec := range []distmm.ExecMode{distmm.ExecSequential, distmm.ExecOverlap} {
+			st := distFixture(3, exec, newOpt).Stepper()
+			got, err := st.StepNCtx(context.Background(), epochs)
+			if err != nil {
+				t.Fatalf("%s exec %v: %v", name, exec, err)
+			}
+			for e := range got {
+				if got[e] != want[e] {
+					t.Fatalf("%s exec %v epoch %d: distributed %+v != reference %+v",
+						name, exec, e, got[e], want[e])
+				}
+			}
+		}
+	}
+}
+
+// TestDistSampledPredictedVolumesExact pins the ledger contract: the
+// per-rank traffic the stepper predicts from Plan.Volumes plus the explicit
+// all-reduce model equals what comm.Stats measures, to the byte and message.
+func TestDistSampledPredictedVolumesExact(t *testing.T) {
+	d := distFixture(5, distmm.ExecSequential, nil)
+	st := d.Stepper()
+	if _, err := st.StepNCtx(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	pred := st.PredictedVolumes()
+	for rank := 0; rank < d.World.P; rank++ {
+		if got, want := d.World.Stats().BytesSent(rank), pred[rank].SentBytes; got != want {
+			t.Errorf("rank %d: sent %d, predicted %d", rank, got, want)
+		}
+		if got, want := d.World.Stats().BytesRecv(rank), pred[rank].RecvBytes; got != want {
+			t.Errorf("rank %d: recv %d, predicted %d", rank, got, want)
+		}
+		if got, want := d.World.Stats().MsgsSent(rank), pred[rank].MsgsSent; got != want {
+			t.Errorf("rank %d: %d msgs, predicted %d", rank, got, want)
+		}
+	}
+}
+
+// TestDistSampledFaultRetryBitIdentical is the chaos case: a fault injected
+// mid-sampled-epoch surfaces as a typed error, the trainer refuses to step
+// while dirty, and a checkpoint rollback replays the remaining epochs
+// bit-identically — sampling streams depend only on absolute (rank, epoch,
+// step), never on how many attempts it took to get there.
+func TestDistSampledFaultRetryBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	clean, err := distFixture(7, distmm.ExecSequential, nil).Stepper().StepNCtx(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := distFixture(7, distmm.ExecSequential, nil)
+	st := d.Stepper()
+	first, err := st.StepNCtx(ctx, 1)
+	if err != nil || first[0] != clean[0] {
+		t.Fatalf("pre-fault epoch: %+v, %v (want %+v)", first, err, clean[0])
+	}
+	saved := st.Model().Clone()
+	savedEpoch := st.Epoch()
+
+	d.World.InjectFault(comm.Fault{Rank: 1, AfterOps: 5})
+	if _, err := st.StepNCtx(ctx, 2); !errors.Is(err, comm.ErrInjectedFault) {
+		t.Fatalf("faulted epoch returned %v, want ErrInjectedFault", err)
+	}
+	if !st.Dirty() {
+		t.Fatal("trainer not dirty after aborted epoch")
+	}
+	if _, err := st.StepNCtx(ctx, 1); !errors.Is(err, gcn.ErrInconsistent) {
+		t.Fatalf("dirty step returned %v, want ErrInconsistent", err)
+	}
+
+	if err := st.SetModel(saved); err != nil {
+		t.Fatal(err)
+	}
+	st.SetEpoch(savedEpoch)
+	retry, err := st.StepNCtx(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range retry {
+		if retry[e] != clean[e+1] {
+			t.Fatalf("epoch %d: retry %+v != clean %+v", e+1, retry[e], clean[e+1])
+		}
+	}
+}
+
+// TestDistSampledEmptyTrainSet pins the typed-error contract of the
+// distributed trainer, matching the serial Epoch fix.
+func TestDistSampledEmptyTrainSet(t *testing.T) {
+	d := distFixture(2, distmm.ExecSequential, nil)
+	d.Train = nil
+	for b := range d.trainOf {
+		d.trainOf[b] = nil
+	}
+	if _, err := d.Stepper().StepNCtx(context.Background(), 1); !errors.Is(err, ErrEmptyTrainSet) {
+		t.Fatalf("got %v, want ErrEmptyTrainSet", err)
+	}
+}
+
+// TestDistSampledUnevenTrainSkew forces one rank to run out of batches
+// before the others (all training vertices live in the first half of the
+// vertex space) and checks the collective still conforms to the reference —
+// the empty-frontier ranks must keep participating in every collective.
+func TestDistSampledUnevenTrainSkew(t *testing.T) {
+	mk := func(exec distmm.ExecMode) *Dist {
+		d := distFixture(11, exec, nil)
+		var train []int
+		for _, v := range d.Train {
+			if v < 24 { // ranks 2 and 3 own no training vertices
+				train = append(train, v)
+			}
+		}
+		d.Train = train
+		for b := range d.trainOf {
+			d.trainOf[b] = nil
+		}
+		for b := 0; b < d.World.P; b++ {
+			lo, hi := d.Layout.Range(b)
+			for _, v := range train {
+				if v >= lo && v < hi {
+					d.trainOf[b] = append(d.trainOf[b], v)
+				}
+			}
+		}
+		return d
+	}
+	want := mk(distmm.ExecSequential).ReferenceEpochs(2)
+	got, err := mk(distmm.ExecOverlap).Stepper().StepNCtx(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range got {
+		if got[e] != want[e] {
+			t.Fatalf("epoch %d: distributed %+v != reference %+v", e, got[e], want[e])
+		}
+	}
+}

@@ -9,8 +9,8 @@
 package minibatch
 
 import (
+	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"sagnn/internal/dense"
@@ -19,6 +19,11 @@ import (
 	"sagnn/internal/opt"
 	"sagnn/internal/sparse"
 )
+
+// ErrEmptyTrainSet is returned by Epoch when the trainer has no training
+// vertices: there is no batch to draw, so no loss exists. Callers that used
+// to compare against NaN should errors.Is against this instead.
+var ErrEmptyTrainSet = errors.New("minibatch: empty training set")
 
 // Trainer trains a GCN with L-hop neighbor sampling.
 type Trainer struct {
@@ -34,9 +39,16 @@ type Trainer struct {
 	BatchSize int
 	Opt       opt.Optimizer
 	rng       *rand.Rand
+	// adjT and tposeScratch are the reusable transpose workspaces for the
+	// backward pass: one destination per layer boundary, grown once and
+	// reused across every mini-batch.
+	adjT         []sparse.CSR
+	tposeScratch []int
 }
 
-// New validates shapes and seeds the sampler.
+// New validates shapes, seeds the sampler, and defaults a nil optimizer to
+// plain SGD — the constructor-validates contract, so Step never has to
+// repair the trainer mid-flight.
 func New(g *graph.Graph, x *dense.Matrix, labels, train []int, model *gcn.Model,
 	fanout, batchSize int, o opt.Optimizer, seed int64) *Trainer {
 	if g.NumVertices() != x.Rows || len(labels) != x.Rows {
@@ -45,6 +57,9 @@ func New(g *graph.Graph, x *dense.Matrix, labels, train []int, model *gcn.Model,
 	}
 	if fanout < 1 || batchSize < 1 {
 		panic(fmt.Sprintf("minibatch: fanout %d batch %d", fanout, batchSize))
+	}
+	if o == nil {
+		o = &opt.SGD{LR: 0.05}
 	}
 	return &Trainer{
 		G: g, X: x, Labels: labels, Train: train, Model: model,
@@ -66,10 +81,18 @@ type block struct {
 // Aggregation weights are mean over sampled neighbors plus the self loop,
 // a sampled analogue of the GCN normalization.
 func (t *Trainer) sampleBlocks(batch []int, layers int) []block {
+	return sampleLayeredBlocks(t.rng, t.G.Neighbors, batch, layers, t.Fanout)
+}
+
+// sampleLayeredBlocks is the sampling core shared by the serial trainer and
+// the distributed trainer's per-rank samplers: the layered computation graph
+// is fully determined by (rng stream, neighbor function, batch), which is
+// the determinism contract distributed bit-identity rests on.
+func sampleLayeredBlocks(rng *rand.Rand, neighbors func(int) []int, batch []int, layers, fanout int) []block {
 	blocks := make([]block, layers)
 	outputs := batch
 	for l := layers - 1; l >= 0; l-- {
-		srcIndex := make(map[int]int, len(outputs)*(t.Fanout+1))
+		srcIndex := make(map[int]int, len(outputs)*(fanout+1))
 		var srcs []int
 		intern := func(v int) int {
 			if i, ok := srcIndex[v]; ok {
@@ -82,14 +105,14 @@ func (t *Trainer) sampleBlocks(batch []int, layers int) []block {
 		}
 		var coords []sparse.Coord
 		for row, v := range outputs {
-			nbrs := t.G.Neighbors(v)
-			sampled := make([]int, 0, t.Fanout+1)
+			nbrs := neighbors(v)
+			sampled := make([]int, 0, fanout+1)
 			sampled = append(sampled, v) // self loop
-			if len(nbrs) <= t.Fanout {
+			if len(nbrs) <= fanout {
 				sampled = append(sampled, nbrs...)
 			} else {
-				for k := 0; k < t.Fanout; k++ {
-					sampled = append(sampled, nbrs[t.rng.Intn(len(nbrs))])
+				for k := 0; k < fanout; k++ {
+					sampled = append(sampled, nbrs[rng.Intn(len(nbrs))])
 				}
 			}
 			w := 1.0 / float64(len(sampled))
@@ -149,35 +172,47 @@ func (t *Trainer) Step(batch []int) float64 {
 			break
 		}
 		upstream := dense.MatMulTransB(g, t.Model.Weights[l-1])
-		gPrev := blocks[l-1].adj.Transpose().SpMM(upstream)
+		gPrev := t.transposed(l-1, blocks[l-1].adj).SpMM(upstream)
 		gPrev.Hadamard(zs[l-1].ReLUDeriv())
 		g = gPrev
-	}
-	if t.Opt == nil {
-		t.Opt = &opt.SGD{LR: 0.05}
 	}
 	t.Opt.Step(t.Model.Weights, grads)
 	return loss
 }
 
+// transposed returns adjᵀ for the block at layer boundary l using the
+// trainer's reusable per-layer workspace, so the backward pass's transposes
+// stop allocating once the workspaces have grown to the sampled block sizes.
+func (t *Trainer) transposed(l int, adj *sparse.CSR) *sparse.CSR {
+	if t.adjT == nil {
+		t.adjT = make([]sparse.CSR, t.Model.Layers())
+	}
+	if cap(t.tposeScratch) < adj.NumCols {
+		t.tposeScratch = make([]int, adj.NumCols)
+	}
+	adj.TransposeInto(&t.adjT[l], t.tposeScratch[:adj.NumCols])
+	return &t.adjT[l]
+}
+
 // Epoch shuffles the training set and runs it in batches, returning the
-// mean batch loss.
-func (t *Trainer) Epoch() float64 {
+// per-example mean loss: batch losses are weighted by batch size, so a
+// short final partial batch contributes proportionally rather than equally.
+// An empty training set returns ErrEmptyTrainSet.
+func (t *Trainer) Epoch() (float64, error) {
 	order := append([]int(nil), t.Train...)
 	t.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	total, batches := 0.0, 0
+	if len(order) == 0 {
+		return 0, ErrEmptyTrainSet
+	}
+	total := 0.0
 	for lo := 0; lo < len(order); lo += t.BatchSize {
 		hi := lo + t.BatchSize
 		if hi > len(order) {
 			hi = len(order)
 		}
-		total += t.Step(order[lo:hi])
-		batches++
+		total += t.Step(order[lo:hi]) * float64(hi-lo)
 	}
-	if batches == 0 {
-		return math.NaN()
-	}
-	return total / float64(batches)
+	return total / float64(len(order)), nil
 }
 
 // Accuracy evaluates the current model full-batch (no sampling) on a

@@ -1,6 +1,7 @@
 package minibatch
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -62,10 +63,15 @@ func TestMiniBatchLearnsSBM(t *testing.T) {
 	model := gcn.NewModel(7, gcn.LayerDims(16, 16, 4, 2))
 	tr := New(g, x, comms, train, model, 5, 32, opt.NewAdam(0.01), 8)
 
-	first := tr.Epoch()
+	first, err := tr.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var last float64
 	for e := 0; e < 30; e++ {
-		last = tr.Epoch()
+		if last, err = tr.Epoch(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if last >= first {
 		t.Fatalf("minibatch loss did not decrease: %v -> %v", first, last)
@@ -104,7 +110,10 @@ func TestMiniBatchVsFullBatch(t *testing.T) {
 	mb := New(g, x, comms, train, gcn.NewModel(11, dims), 5, 25, opt.NewAdam(0.01), 12)
 	var mbLoss float64
 	for e := 0; e < 40; e++ {
-		mbLoss = mb.Epoch()
+		var err error
+		if mbLoss, err = mb.Epoch(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if math.IsNaN(fullLoss) || math.IsNaN(mbLoss) {
 		t.Fatal("NaN loss")
@@ -127,13 +136,84 @@ func TestValidationPanics(t *testing.T) {
 	New(g, x, comms, nil, model, 0, 8, nil, 1)
 }
 
-func TestEmptyEpochNaN(t *testing.T) {
+func TestEmptyEpochTypedError(t *testing.T) {
 	g, comms := gen.SBM(20, 2, 4, 1, 2)
 	rng := rand.New(rand.NewSource(1))
 	x := gen.Features(rng, comms, 2, 4, 0.3)
 	model := gcn.NewModel(1, gcn.LayerDims(4, 4, 2, 2))
 	tr := New(g, x, comms, nil, model, 3, 8, nil, 1)
-	if !math.IsNaN(tr.Epoch()) {
-		t.Fatal("empty train set should give NaN epoch loss")
+	if _, err := tr.Epoch(); !errors.Is(err, ErrEmptyTrainSet) {
+		t.Fatalf("empty train set: got %v, want ErrEmptyTrainSet", err)
+	}
+}
+
+func TestNewDefaultsOptimizer(t *testing.T) {
+	g, comms := gen.SBM(20, 2, 4, 1, 2)
+	rng := rand.New(rand.NewSource(1))
+	x := gen.Features(rng, comms, 2, 4, 0.3)
+	model := gcn.NewModel(1, gcn.LayerDims(4, 4, 2, 2))
+	tr := New(g, x, comms, []int{0, 1}, model, 3, 8, nil, 1)
+	if tr.Opt == nil {
+		t.Fatal("New left Opt nil; the constructor must default it")
+	}
+	if sgd, ok := tr.Opt.(*opt.SGD); !ok || sgd.LR != 0.05 {
+		t.Fatalf("default optimizer %#v, want SGD{LR: 0.05}", tr.Opt)
+	}
+}
+
+// TestEpochWeightsBatchesBySize pins the per-example-mean contract: with a
+// frozen model (LR 0) and a fanout covering every neighbor (sampling is then
+// deterministic), an epoch split into uneven batches must report exactly the
+// loss of a single full-set batch — equal-weighting the short final batch
+// would skew it.
+func TestEpochWeightsBatchesBySize(t *testing.T) {
+	g, comms := gen.SBM(60, 3, 4, 1, 3)
+	rng := rand.New(rand.NewSource(4))
+	x := gen.Features(rng, comms, 3, 6, 0.3)
+	train := []int{0, 3, 6, 9, 12, 15, 18, 21, 24, 27} // 10 examples
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := len(g.Neighbors(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	dims := gcn.LayerDims(6, 8, 3, 2)
+	frozen := &opt.SGD{LR: 0}
+	// 10 examples in batches of 4 → sizes 4, 4, 2.
+	uneven := New(g, x, comms, train, gcn.NewModel(13, dims), maxDeg, 4, frozen, 5)
+	unevenLoss, err := uneven.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := New(g, x, comms, train, gcn.NewModel(13, dims), maxDeg, len(train), frozen, 5)
+	singleLoss, err := single.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unevenLoss != singleLoss {
+		t.Fatalf("uneven-batch epoch loss %v != single-batch loss %v", unevenLoss, singleLoss)
+	}
+}
+
+// TestStepSteadyStateTransposeAllocs pins the reusable backward-pass
+// transpose: after a warm-up step has grown the per-layer workspaces, the
+// transpose helper itself must not allocate.
+func TestStepSteadyStateTransposeAllocs(t *testing.T) {
+	g, comms := gen.SBM(100, 4, 8, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	x := gen.Features(rng, comms, 4, 8, 0.3)
+	train := make([]int, 0, 50)
+	for v := 0; v < 100; v += 2 {
+		train = append(train, v)
+	}
+	model := gcn.NewModel(3, gcn.LayerDims(8, 8, 4, 2))
+	tr := New(g, x, comms, train, model, 3, 16, &opt.SGD{LR: 0.01}, 4)
+	blocks := tr.sampleBlocks(train[:16], model.Layers())
+	tr.transposed(0, blocks[0].adj) // warm-up grows the workspace
+	allocs := testing.AllocsPerRun(20, func() {
+		tr.transposed(0, blocks[0].adj)
+	})
+	if allocs != 0 {
+		t.Fatalf("transposed allocates %v per call after warm-up, want 0", allocs)
 	}
 }

@@ -115,31 +115,43 @@ func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
 
 // Transpose returns mᵀ via a counting pass (no sort needed).
 func (m *CSR) Transpose() *CSR {
-	t := &CSR{
-		NumRows: m.NumCols,
-		NumCols: m.NumRows,
-		RowPtr:  make([]int, m.NumCols+1),
-		ColIdx:  make([]int, m.NNZ()),
-		Val:     make([]float64, m.NNZ()),
+	t := &CSR{}
+	m.TransposeInto(t, nil)
+	return t
+}
+
+// TransposeInto computes mᵀ into a reusable destination: dst's slices are
+// grown once and reused across calls, so steady-state transposition of
+// same-shaped matrices allocates nothing. next, when non-nil, must be a
+// scratch slice of length ≥ NumCols; a nil next allocates a fresh one.
+func (m *CSR) TransposeInto(dst *CSR, next []int) {
+	dst.NumRows, dst.NumCols = m.NumCols, m.NumRows
+	dst.RowPtr = growInts(dst.RowPtr, m.NumCols+1)
+	dst.ColIdx = growInts(dst.ColIdx, m.NNZ())
+	dst.Val = growFloats(dst.Val, m.NNZ())
+	for i := range dst.RowPtr {
+		dst.RowPtr[i] = 0
 	}
 	for _, c := range m.ColIdx {
-		t.RowPtr[c+1]++
+		dst.RowPtr[c+1]++
 	}
 	for i := 0; i < m.NumCols; i++ {
-		t.RowPtr[i+1] += t.RowPtr[i]
+		dst.RowPtr[i+1] += dst.RowPtr[i]
 	}
-	next := make([]int, m.NumCols)
-	copy(next, t.RowPtr[:m.NumCols])
+	if next == nil {
+		//lint:ignore steadyalloc documented nil-next fallback allocates a fresh scratch; steady-state callers pass a reused one
+		next = make([]int, m.NumCols)
+	}
+	copy(next[:m.NumCols], dst.RowPtr[:m.NumCols])
 	for r := 0; r < m.NumRows; r++ {
 		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
 			c := m.ColIdx[p]
 			q := next[c]
-			t.ColIdx[q] = r
-			t.Val[q] = m.Val[p]
+			dst.ColIdx[q] = r
+			dst.Val[q] = m.Val[p]
 			next[c]++
 		}
 	}
-	return t
 }
 
 // IsSymmetric reports whether the matrix equals its transpose, within tol.

@@ -1,0 +1,162 @@
+package sagnn
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// sampledSession builds a 4-process sampled-training session over the small
+// protein-sim dataset.
+func sampledSession(t *testing.T, exec ExecMode, opts ...SessionOption) *Session {
+	t.Helper()
+	ds := MustLoadDataset("protein-sim", 1, 64)
+	cl, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cl.Distribute(ds, DistOpts{
+		Algorithm:   SparsityAware1D,
+		Partitioner: NewGVB(1),
+		Exec:        exec,
+		VerifyPlans: true,
+		Sampling:    &SamplingConfig{Fanout: 3, BatchSize: 8, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dg.NewSession(ModelConfig{Seed: 1}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestRunSampledBitIdenticalAcrossExecModes pins launch determinism at the
+// public API: the same sampled run under the sequential and the overlapped
+// plan executor produces bit-identical epoch losses and accuracies.
+func TestRunSampledBitIdenticalAcrossExecModes(t *testing.T) {
+	seq, err := sampledSession(t, ExecSequential).RunSampled(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovl, err := sampledSession(t, ExecOverlap).RunSampled(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.History) != 3 || len(ovl.History) != len(seq.History) {
+		t.Fatalf("histories: %d vs %d epochs", len(seq.History), len(ovl.History))
+	}
+	for e := range seq.History {
+		if seq.History[e] != ovl.History[e] {
+			t.Fatalf("epoch %d: seq %+v != overlap %+v", e, seq.History[e], ovl.History[e])
+		}
+	}
+	if seq.FinalLoss <= 0 || seq.History[2].Loss >= seq.History[0].Loss {
+		t.Fatalf("sampled training did not reduce loss: %+v", seq.History)
+	}
+}
+
+// TestRunSampledFaultRecoveryBitIdentical injects a communication fault
+// mid-sampled-run and requires WithRecovery to roll back and replay to the
+// same final losses and weights an unfaulted run produces — sampling streams
+// depend only on absolute epoch indices, never on the retry count.
+func TestRunSampledFaultRecoveryBitIdentical(t *testing.T) {
+	clean, err := sampledSession(t, ExecSequential).RunSampled(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := sampledSession(t, ExecSequential,
+		WithAutoSnapshot(1), WithRecovery(3, time.Millisecond))
+	sess.dg.Cluster().InjectFault(1, 7, nil)
+	res, err := sess.RunSampled(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("recovery did not absorb the fault: %v", err)
+	}
+	if len(res.History) != len(clean.History) {
+		t.Fatalf("recovered run has %d epochs, clean has %d", len(res.History), len(clean.History))
+	}
+	for e := range clean.History {
+		if res.History[e] != clean.History[e] {
+			t.Fatalf("epoch %d: recovered %+v != clean %+v", e, res.History[e], clean.History[e])
+		}
+	}
+	if res.Model.m.MaxWeightDiff(clean.Model.m) != 0 {
+		t.Fatal("recovered weights differ from clean run")
+	}
+}
+
+// TestRunSampledFaultWithoutRecovery pins the typed-error path: without
+// WithRecovery an injected fault surfaces as *RankError with the injected
+// cause, and the session remains usable afterwards (the run loop rolled the
+// steppers back to the last completed launch).
+func TestRunSampledFaultWithoutRecovery(t *testing.T) {
+	sess := sampledSession(t, ExecSequential, WithAutoSnapshot(1))
+	sess.dg.Cluster().InjectFault(2, 7, nil)
+	_, err := sess.RunSampled(context.Background(), 3)
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("got %v, want ErrInjectedFault", err)
+	}
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("fault not typed as *RankError: %v", err)
+	}
+	if _, err := sess.RunSampled(context.Background(), 1); err != nil {
+		t.Fatalf("session unusable after rolled-back fault: %v", err)
+	}
+}
+
+// TestRunSampledInterleavesWithRun checks the one-logical-model contract:
+// sampled and full-batch runs on the same session share weights, the epoch
+// counter, and history numbering.
+func TestRunSampledInterleavesWithRun(t *testing.T) {
+	sess := sampledSession(t, ExecSequential)
+	if _, err := sess.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Model()
+	res, err := sess.RunSampled(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Epoch() != 4 {
+		t.Fatalf("epoch counter %d after 2 full + 2 sampled epochs", sess.Epoch())
+	}
+	if res.History[0].Epoch != 2 || res.History[1].Epoch != 3 {
+		t.Fatalf("sampled epochs numbered %d,%d; want 2,3", res.History[0].Epoch, res.History[1].Epoch)
+	}
+	if sess.Model().m.MaxWeightDiff(before.m) == 0 {
+		t.Fatal("sampled run did not train the session's model")
+	}
+	hist := sess.History()
+	if len(hist) != 4 {
+		t.Fatalf("session history has %d entries", len(hist))
+	}
+	if _, err := sess.Run(context.Background(), 1); err != nil {
+		t.Fatalf("full-batch run after sampled run: %v", err)
+	}
+}
+
+// TestRunSampledRejectsReplicatedLayouts pins the 1D requirement: a 1.5D
+// distribution (fewer layout blocks than ranks) cannot host sampled
+// training and must error, not panic.
+func TestRunSampledRejectsReplicatedLayouts(t *testing.T) {
+	ds := MustLoadDataset("protein-sim", 1, 64)
+	cl, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cl.Distribute(ds, DistOpts{Algorithm: SparsityAware15D, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dg.NewSession(ModelConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunSampled(context.Background(), 1); err == nil {
+		t.Fatal("RunSampled accepted a replicated layout")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sagnn/internal/comm"
 	"sagnn/internal/gcn"
 	"sagnn/internal/machine"
+	"sagnn/internal/minibatch"
+	"sagnn/internal/opt"
 	"sagnn/internal/retry"
 )
 
@@ -118,12 +120,29 @@ func WithRecovery(maxRetries int, backoff time.Duration) SessionOption {
 // sparsity-aware communication schedule are built once and reused — but
 // their Step/Run calls are serialized (the engine's per-rank workspaces are
 // shared), so a Session must not be stepped from multiple goroutines.
+// epochStepper is the session-facing contract both training modes satisfy:
+// the full-batch gcn.Stepper and the sampled minibatch.DistStepper. A
+// session drives exactly one of them at a time; everything above the
+// stepper — the run loop, recovery, snapshots, ledger attribution — is
+// mode-agnostic.
+type epochStepper interface {
+	StepNCtx(ctx context.Context, n int) ([]gcn.EpochResult, error)
+	Epoch() int
+	SetEpoch(int)
+	Model() *gcn.Model
+	SetModel(*gcn.Model) error
+}
+
 type Session struct {
 	dg      *DistGraph
 	cfg     ModelConfig
 	opts    sessionOptions
 	trainer *gcn.Distributed
-	stepper *gcn.Stepper
+	stepper epochStepper
+	// sampled is the lazily built neighbor-sampling stepper RunSampled
+	// drives; it shares the session's logical model through explicit
+	// SetModel syncs at the RunSampled boundaries.
+	sampled *minibatch.DistStepper
 	history []EpochResult
 
 	// spentLedger / spentVol accumulate this session's own modeled time and
@@ -348,6 +367,80 @@ loop:
 		}
 	}
 	return s.result(runHist, ledger0, vol0), runErr
+}
+
+// RunSampled trains for up to the given number of epochs with neighbor-
+// sampled mini-batches instead of full-batch epochs: each rank draws
+// GraphSAGE-style fixed-fanout batches over its own training vertices, and
+// every batch's boundary-feature halo exchange is compiled into a Plan
+// instruction stream — so sampled epochs inherit the full-batch machinery
+// unchanged: byte-exact volume prediction, overlapped execution, static
+// plan verification, typed-error aborts, and both transports. Sampling
+// parameters come from DistOpts.Sampling (defaults if nil). Sampling is
+// seeded per (rank, epoch, step), so losses are bit-identical across
+// transports and across recovery retries; callbacks, cancellation,
+// WithRecovery, and WithAutoSnapshot behave exactly as in Run. Sampled and
+// full-batch runs may interleave on one session: they train the same
+// logical model and share the epoch counter and history.
+func (s *Session) RunSampled(ctx context.Context, epochs int) (res *TrainResult, err error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("sagnn: %d epochs", epochs)
+	}
+	if s.cfg.SAGE {
+		return nil, fmt.Errorf("sagnn: sampled training supports the GCN variant only")
+	}
+	defer recoverToError(&err)
+	if s.sampled == nil {
+		g := s.dg
+		if g.layout.Blocks() != g.cluster.p {
+			return nil, fmt.Errorf("sagnn: sampled training needs one layout block per rank; %s distributes %d blocks over %d ranks",
+				g.Algorithm(), g.layout.Blocks(), g.cluster.p)
+		}
+		var sc SamplingConfig
+		if g.opts.Sampling != nil {
+			sc = *g.opts.Sampling
+		}
+		sc = sc.withDefaults(s.cfg.Seed)
+		dims := gcn.LayerDims(g.x.Cols, s.cfg.Hidden, g.ds.Classes, s.cfg.Layers)
+		lr := s.cfg.LR
+		d := minibatch.NewDist(g.cluster.world, g.layout, g.aHat, g.x, g.labels, g.train, dims,
+			s.cfg.Seed, func() opt.Optimizer { return &opt.SGD{LR: lr} },
+			minibatch.DistConfig{
+				Fanout: sc.Fanout, BatchSize: sc.BatchSize, Seed: sc.Seed,
+				Exec: g.opts.Exec, Verify: g.opts.VerifyPlans,
+			})
+		g.cluster.mu.Lock()
+		s.sampled = d.Stepper()
+		g.cluster.mu.Unlock()
+	}
+	// Hand the session's logical model to the sampled stepper, drive the
+	// ordinary run loop (recovery, snapshots, ledger attribution) through
+	// it, and hand the trained weights back — one coherent training state
+	// whichever mode ran.
+	full := s.stepper
+	if err := s.syncSteppers(full, s.sampled); err != nil {
+		return nil, err
+	}
+	s.stepper = s.sampled
+	res, err = s.Run(ctx, epochs)
+	if syncErr := s.syncSteppers(s.sampled, full); syncErr != nil && err == nil {
+		err = syncErr
+	}
+	s.stepper = full
+	return res, err
+}
+
+// syncSteppers copies from's weights and epoch counter into to under the
+// cluster step lock. SetModel clones and re-creates optimizer state, which
+// also clears any dirty condition left by an earlier aborted launch.
+func (s *Session) syncSteppers(from, to epochStepper) error {
+	s.dg.cluster.mu.Lock()
+	defer s.dg.cluster.mu.Unlock()
+	if err := to.SetModel(from.Model()); err != nil {
+		return err
+	}
+	to.SetEpoch(from.Epoch())
+	return nil
 }
 
 // result assembles a TrainResult for one run from its history and this

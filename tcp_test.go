@@ -54,10 +54,11 @@ type confRun struct {
 }
 
 type confConfig struct {
-	name string
-	alg  Algorithm
-	c    int
-	exec ExecMode
+	name    string
+	alg     Algorithm
+	c       int
+	exec    ExecMode
+	sampled bool
 }
 
 func conformanceConfigs() []confConfig {
@@ -80,6 +81,12 @@ func conformanceConfigs() []confConfig {
 				alg:  a.alg, c: a.c, exec: e.mode,
 			})
 		}
+		// Sampled mini-batch training over the 1D layout: per-batch compiled
+		// halo-gather plans must stay bit-identical across transports too.
+		out = append(out, confConfig{
+			name: fmt.Sprintf("sampled/%s", e.tag),
+			alg:  SparsityAware1D, c: 1, exec: e.mode, sampled: true,
+		})
 	}
 	return out
 }
@@ -103,6 +110,7 @@ func runConformanceSchedule(t *testing.T, cl *Cluster, ds *Dataset) []confRun {
 			Replication: cfg.c,
 			Partitioner: NewGVB(confSeed),
 			Exec:        cfg.exec,
+			Sampling:    &SamplingConfig{Fanout: 3, BatchSize: 8, Seed: confSeed},
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.name, err)
@@ -112,7 +120,12 @@ func runConformanceSchedule(t *testing.T, cl *Cluster, ds *Dataset) []confRun {
 			t.Fatalf("%s: %v", cfg.name, err)
 		}
 		v0 := cl.world.Stats().Snapshot()
-		res, err := sess.Run(context.Background(), confEpochs)
+		var res *TrainResult
+		if cfg.sampled {
+			res, err = sess.RunSampled(context.Background(), confEpochs)
+		} else {
+			res, err = sess.Run(context.Background(), confEpochs)
+		}
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.name, err)
 		}
