@@ -15,29 +15,33 @@
 //
 //	serve -dataset protein-sim -epochs 10 -seed 9 -save model.bin -train-only
 //
-// Load-generator mode (drive a running server, report QPS and latency):
+// Sharded fleet mode (router fronting N in-process replicas):
+//
+//	serve -dataset protein-sim -replicas 3 -router -addr :8080
+//	curl -s localhost:8080/metrics | jq .fleet_cache_hit_rate
+//	curl -s -XPOST localhost:8080/admin/kill?replica=1
+//
+// Load-generator mode (drive a running server, report QPS and latency;
+// -scenario shapes the traffic and can fire mid-run chaos):
 //
 //	serve -loadgen -target http://localhost:8080 -clients 64 -duration 10s
+//	serve -loadgen -scenario zipf -zipfs 1.3 -duration 10s
+//	serve -loadgen -scenario swap -swapmodel model.bin -duration 10s
+//	serve -loadgen -scenario kill -kill-replica 1 -duration 10s
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
-	"sync"
 	"syscall"
 	"time"
 
 	"sagnn"
+	"sagnn/internal/router"
 	"sagnn/internal/serve"
 )
 
@@ -66,6 +70,11 @@ func main() {
 	maxInFlight := flag.Int("maxinflight", 1024, "admission limit: in-flight predictions before shedding 503s (negative = unlimited)")
 	reqTimeout := flag.Duration("reqtimeout", 5*time.Second, "per-request deadline, admission to answer (negative disables)")
 
+	// Sharded fleet mode.
+	replicas := flag.Int("replicas", 1, "number of in-process serve replicas (with -router)")
+	routerMode := flag.Bool("router", false, "front the replicas with the partition-aware router")
+	route := flag.String("route", "partition", "routing policy: partition or random")
+
 	// Load-generator mode.
 	loadgen := flag.Bool("loadgen", false, "run as a load generator against -target")
 	target := flag.String("target", "http://127.0.0.1:8080", "server URL for -loadgen")
@@ -73,10 +82,26 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "loadgen run length")
 	perReq := flag.Int("k", 1, "vertices per loadgen request")
 	hot := flag.Float64("hot", 0, "fraction of loadgen requests drawn from a 64-vertex hot set")
+	scenario := flag.String("scenario", "uniform", "loadgen scenario: uniform, zipf, flash, swap, kill")
+	zipfS := flag.Float64("zipfs", 1.3, "Zipf popularity exponent for -scenario zipf/swap/kill (> 1)")
+	swapModel := flag.String("swapmodel", "", "model artifact POSTed to /admin/swap at half-time (-scenario swap)")
+	killReplica := flag.Int("kill-replica", 0, "replica index killed at half-time (-scenario kill)")
 	flag.Parse()
 
 	if *loadgen {
-		if err := runLoadgen(*target, *clients, *perReq, *hot, *duration, *seed); err != nil {
+		err := runLoadgen(loadConfig{
+			target:      *target,
+			clients:     *clients,
+			perReq:      *perReq,
+			hot:         *hot,
+			duration:    *duration,
+			seed:        *seed,
+			scenario:    *scenario,
+			zipfS:       *zipfS,
+			swapModel:   *swapModel,
+			killReplica: *killReplica,
+		})
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -110,14 +135,26 @@ func main() {
 		return
 	}
 
-	srv, err := serve.New(ds, model, serve.Config{
+	scfg := serve.Config{
 		BatchWindow:        *window,
 		MaxBatch:           *maxBatch,
 		CacheSize:          *cacheSize,
 		MaxRequestVertices: *maxReq,
 		MaxInFlight:        *maxInFlight,
 		RequestTimeout:     *reqTimeout,
-	})
+	}
+
+	if *routerMode || *replicas > 1 {
+		if *replicas < 1 {
+			fatal(fmt.Errorf("-replicas %d < 1", *replicas))
+		}
+		if err := runFleet(ds, model, scfg, *replicas, router.Policy(*route), *seed, *addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	srv, err := serve.New(ds, model, scfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -175,132 +212,4 @@ func bootstrapModel(ds *sagnn.Dataset, path string, epochs int, seed int64) (*sa
 	fmt.Printf("bootstrap model: loss %.4f, val acc %.3f, test acc %.3f\n",
 		last.Loss, res.ValAcc, res.TestAcc)
 	return res.Model, nil
-}
-
-// runLoadgen drives POST /predict from many concurrent clients and reports
-// throughput and latency quantiles — the harness behind the EXPERIMENTS
-// serving table.
-func runLoadgen(target string, clients, perReq int, hot float64, d time.Duration, seed int64) error {
-	n, err := serverVertices(target)
-	if err != nil {
-		return fmt.Errorf("probing %s: %w", target, err)
-	}
-	fmt.Printf("loadgen: %d clients × %d vertices/request against %s (%d vertices, hot %.2f) for %v\n",
-		clients, perReq, target, n, hot, d)
-	if perReq > n {
-		return fmt.Errorf("request size %d exceeds %d vertices", perReq, n)
-	}
-	type result struct {
-		lat  []time.Duration
-		errs int
-		shed int
-	}
-	deadline := time.Now().Add(d)
-	results := make([]result, clients)
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(c)))
-			client := &http.Client{Timeout: 30 * time.Second}
-			verts := make([]int, perReq)
-			for time.Now().Before(deadline) {
-				pickDistinct(rng, verts, n, hot)
-				body, _ := json.Marshal(map[string][]int{"vertices": verts})
-				t0 := time.Now()
-				resp, err := client.Post(target+"/predict", "application/json", bytes.NewReader(body))
-				if err != nil {
-					results[c].errs++
-					continue
-				}
-				// Drain before closing so the client reuses the keep-alive
-				// connection instead of dialing per request.
-				_, _ = io.Copy(io.Discard, resp.Body)
-				_ = resp.Body.Close()
-				if resp.StatusCode == http.StatusServiceUnavailable {
-					// Load shedding is the server protecting its latency, not
-					// a failure: count it separately so the shed rate under a
-					// given offered load is directly observable.
-					results[c].shed++
-					continue
-				}
-				if resp.StatusCode != http.StatusOK {
-					results[c].errs++
-					continue
-				}
-				results[c].lat = append(results[c].lat, time.Since(t0))
-			}
-		}(c)
-	}
-	wg.Wait()
-	var all []time.Duration
-	errs, shed := 0, 0
-	for _, r := range results {
-		all = append(all, r.lat...)
-		errs += r.errs
-		shed += r.shed
-	}
-	if len(all) == 0 {
-		return errors.New("no successful requests")
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
-	offered := len(all) + errs + shed
-	fmt.Printf("requests %d  errors %d  shed %d (%.1f%% of %d offered)  throughput %.1f req/s\n",
-		len(all), errs, shed, 100*float64(shed)/float64(offered), offered, float64(len(all))/d.Seconds())
-	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
-		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-		q(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
-	return nil
-}
-
-// pickDistinct fills verts with distinct vertex ids; a hot fraction of
-// requests samples from a fixed 64-vertex hot set to exercise the cache.
-func pickDistinct(rng *rand.Rand, verts []int, n int, hot float64) {
-	limit := n
-	if hot > 0 && rng.Float64() < hot {
-		limit = 64
-		if limit > n {
-			limit = n
-		}
-		if limit < len(verts) {
-			limit = n // hot set smaller than the request: fall back to uniform
-		}
-	}
-	for i := range verts {
-		for {
-			v := rng.Intn(limit)
-			dup := false
-			for _, w := range verts[:i] {
-				if w == v {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				verts[i] = v
-				break
-			}
-		}
-	}
-}
-
-// serverVertices asks /healthz how many vertices the served dataset has.
-func serverVertices(target string) (int, error) {
-	resp, err := http.Get(target + "/healthz")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	var h struct {
-		Vertices int `json:"vertices"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return 0, err
-	}
-	if h.Vertices < 1 {
-		return 0, fmt.Errorf("server reports %d vertices", h.Vertices)
-	}
-	return h.Vertices, nil
 }

@@ -44,6 +44,14 @@ func (p *Partition) Validate(n int) error {
 	return nil
 }
 
+// PartOf returns the part owning vertex v (in the original, un-permuted
+// vertex numbering). It is the ownership lookup consumers outside the
+// training stack — the serving router above all — should use instead of
+// re-deriving ownership from Perm/Offsets internals. v must be in
+// [0, len(p.Parts)); out-of-range lookups panic like the slice access
+// they are.
+func (p *Partition) PartOf(v int) int { return p.Parts[v] }
+
 // Sizes returns the number of vertices in each part.
 func (p *Partition) Sizes() []int {
 	s := make([]int, p.K)

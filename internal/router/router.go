@@ -1,0 +1,611 @@
+// Package router is the sharded serving tier: a partition-aware HTTP
+// router fronting N serve.Server replicas that all hold the same dataset
+// and model. The paper's discipline — communication cost is governed by
+// which rows you actually need — extends from one serving process to a
+// fleet: vertices in the same partition part share gather rows, so routing
+// each vertex to the replica owning its part multiplies the per-replica
+// probability cache (each replica caches its part of the vertex space
+// instead of N copies of the global hot set) and keeps per-replica gather
+// fractions low (same-part receptive fields overlap).
+//
+// The router provides:
+//
+//   - partition-aware routing: each request vertex goes to the replica
+//     owning its part; mixed requests are split into per-replica
+//     sub-requests and the responses merged in input order,
+//   - per-replica health checking with eject/readmit (and generation
+//     catch-up before readmission),
+//   - fleet-wide admission control that honors and propagates Retry-After,
+//   - rolling hot-swap orchestration: POST /admin/swap fans out
+//     replica-by-replica with generation verification, and a merge-time
+//     generation check guarantees no response ever mixes model
+//     generations, and
+//   - an aggregated GET /metrics endpoint (fleet QPS, p50/p99, per-replica
+//     cache hit rate and gather fraction).
+//
+// Endpoints: POST /predict, GET /healthz, GET /metrics, POST /admin/swap,
+// POST /admin/kill (optional chaos hook).
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sagnn/internal/serve"
+)
+
+// Policy selects how vertices map to replicas.
+type Policy string
+
+const (
+	// PolicyPartition routes each vertex to the replica owning its
+	// partition part (Config.PartOf), splitting mixed requests. This is the
+	// locality-aware default the EXPERIMENTS table measures.
+	PolicyPartition Policy = "partition"
+	// PolicyRandom sends each whole request to a uniformly chosen replica —
+	// the classic load-balancer baseline. Every replica ends up caching the
+	// same global hot set, so the fleet cache is effectively one replica's
+	// capacity; the policy exists to quantify exactly that loss.
+	PolicyRandom Policy = "random"
+)
+
+// ErrConfig tags a rejected router configuration.
+var ErrConfig = errors.New("router: invalid config")
+
+// InFlightUnlimited disables fleet-wide admission control.
+const InFlightUnlimited = -1
+
+// Config tunes the router. The zero value selects the defaults (partition
+// policy, which requires PartOf).
+type Config struct {
+	// PartOf maps a vertex id in [0, Vertices) to its partition part.
+	// Required under PolicyPartition; parts map to replicas modulo the
+	// replica count. Typically (*partition.Partition).PartOf.
+	PartOf func(v int) int
+	// Policy selects the routing policy (default PolicyPartition).
+	Policy Policy
+	// MaxInFlight is the fleet-wide admission limit: whole client requests
+	// beyond this many in flight are shed with 503 + Retry-After before any
+	// replica is touched. Default 4096; InFlightUnlimited disables.
+	MaxInFlight int
+	// HealthInterval is the probe period of the health loop (default
+	// 250ms).
+	HealthInterval time.Duration
+	// EjectAfter ejects a replica after this many consecutive failed
+	// probes (default 2).
+	EjectAfter int
+	// ReadmitAfter readmits an ejected replica after this many consecutive
+	// successful probes — after its generation has been caught up to the
+	// fleet target (default 2).
+	ReadmitAfter int
+	// Kill, if set, is the chaos hook behind POST /admin/kill: it
+	// terminates replica i (in-process fleets close the serve.Server).
+	// Unset, the endpoint answers 501.
+	Kill func(i int) error
+	// Seed feeds PolicyRandom's replica choice (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Policy == "" {
+		c.Policy = PolicyPartition
+	}
+	if c.Policy != PolicyPartition && c.Policy != PolicyRandom {
+		return c, fmt.Errorf("%w: unknown policy %q", ErrConfig, c.Policy)
+	}
+	if c.Policy == PolicyPartition && c.PartOf == nil {
+		return c, fmt.Errorf("%w: PolicyPartition requires PartOf", ErrConfig)
+	}
+	switch {
+	case c.MaxInFlight == 0:
+		c.MaxInFlight = 4096
+	case c.MaxInFlight < 0 && c.MaxInFlight != InFlightUnlimited:
+		return c, fmt.Errorf("%w: MaxInFlight %d is negative (use InFlightUnlimited to disable shedding)", ErrConfig, c.MaxInFlight)
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.HealthInterval < 0 {
+		return c, fmt.Errorf("%w: HealthInterval %v is negative", ErrConfig, c.HealthInterval)
+	}
+	if c.EjectAfter == 0 {
+		c.EjectAfter = 2
+	}
+	if c.EjectAfter < 1 {
+		return c, fmt.Errorf("%w: EjectAfter %d < 1", ErrConfig, c.EjectAfter)
+	}
+	if c.ReadmitAfter == 0 {
+		c.ReadmitAfter = 2
+	}
+	if c.ReadmitAfter < 1 {
+		return c, fmt.Errorf("%w: ReadmitAfter %d < 1", ErrConfig, c.ReadmitAfter)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// replica is the router's view of one backend.
+type replica struct {
+	name   string
+	base   string // URL prefix the client routes, e.g. "http://replica-0"
+	client *http.Client
+
+	healthy atomic.Bool
+	killed  atomic.Bool   // administratively terminated; never readmitted
+	gen     atomic.Uint64 // last observed serving generation
+
+	ejects      atomic.Uint64
+	subRequests atomic.Uint64
+
+	// Health-loop-private consecutive-probe counters (single goroutine).
+	fails, oks int
+}
+
+// swapArtifact is the latest successfully fanned-out model blob, kept so
+// readmission can catch a stale replica up to the fleet generation.
+type swapArtifact struct {
+	data []byte
+	gen  uint64
+}
+
+// Router fronts a fleet of replicas. Safe for concurrent use.
+type Router struct {
+	cfg      Config
+	replicas []*replica
+	mux      *http.ServeMux
+
+	vertices int    // dataset size, from the boot probe
+	dataset  string // dataset name, from the boot probe
+	classes  int
+
+	start    time.Time
+	lat      *serve.LatencyRing
+	inFlight atomic.Int64
+
+	requests   atomic.Uint64 // successfully answered /predict calls
+	failed     atomic.Uint64 // errored calls (not shed)
+	shed       atomic.Uint64 // router-level admission 503s
+	splits     atomic.Uint64 // requests split across >1 replica
+	genRetries atomic.Uint64 // merge-time generation conflicts retried whole
+	reroutes   atomic.Uint64 // sub-requests diverted off an unreachable replica
+	swaps      atomic.Uint64 // completed rolling swaps
+
+	targetGen atomic.Uint64                // fleet generation every replica should serve
+	artifact  atomic.Pointer[swapArtifact] // latest fanned-out model blob
+	swapMu    sync.Mutex                   // one rolling swap at a time
+	rrState   atomic.Uint64                // PolicyRandom stream state
+
+	closed       atomic.Bool
+	healthCancel context.CancelFunc
+	healthDone   chan struct{}
+}
+
+// New builds a router over in-process replica handlers (each typically a
+// serve.Server's Handler) and starts its health loop. The boot probe
+// requires every replica healthy, serving the same dataset at the same
+// generation — a fleet must start consistent to stay consistent. Callers
+// must Close the router to stop the health loop.
+func New(handlers []http.Handler, cfg Config) (*Router, error) {
+	if len(handlers) == 0 {
+		return nil, fmt.Errorf("%w: no replicas", ErrConfig)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:        cfg,
+		start:      time.Now(),
+		lat:        serve.NewLatencyRing(0),
+		healthDone: make(chan struct{}),
+	}
+	rt.rrState.Store(uint64(cfg.Seed))
+	for i, h := range handlers {
+		name := fmt.Sprintf("replica-%d", i)
+		rt.replicas = append(rt.replicas, &replica{
+			name:   name,
+			base:   "http://" + name,
+			client: newHandlerClient(h),
+		})
+	}
+	if err := rt.bootProbe(); err != nil {
+		return nil, err
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/predict", rt.handlePredict)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/admin/swap", rt.handleSwap)
+	rt.mux.HandleFunc("/admin/kill", rt.handleKill)
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.healthCancel = cancel
+	go rt.healthLoop(ctx)
+	return rt, nil
+}
+
+// bootProbe verifies the fleet starts consistent: every replica healthy,
+// identical dataset identity, one common generation (the initial target).
+func (rt *Router) bootProbe() error {
+	var gen uint64
+	for i, r := range rt.replicas {
+		h, err := rt.probe(context.Background(), r)
+		if err != nil {
+			return fmt.Errorf("router: boot probe of %s: %w", r.name, err)
+		}
+		if i == 0 {
+			rt.dataset, rt.vertices, rt.classes, gen = h.Dataset, h.Vertices, h.Classes, h.Generation
+		} else if h.Dataset != rt.dataset || h.Vertices != rt.vertices || h.Classes != rt.classes {
+			return fmt.Errorf("router: %s serves %s/%dv/%dc, fleet serves %s/%dv/%dc",
+				r.name, h.Dataset, h.Vertices, h.Classes, rt.dataset, rt.vertices, rt.classes)
+		} else if h.Generation != gen {
+			return fmt.Errorf("router: %s at generation %d, fleet at %d — fleets must boot uniform",
+				r.name, h.Generation, gen)
+		}
+		r.gen.Store(h.Generation)
+		r.healthy.Store(true)
+	}
+	rt.targetGen.Store(gen)
+	return nil
+}
+
+// Handler returns the router's HTTP handler tree.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the health loop and refuses further predictions. It does not
+// close the replicas — the fleet owner does. Idempotent.
+func (rt *Router) Close() {
+	if rt.closed.Swap(true) {
+		return
+	}
+	rt.healthCancel()
+	<-rt.healthDone
+}
+
+// Generation returns the fleet target generation (what every healthy
+// replica serves after the last completed rolling swap).
+func (rt *Router) Generation() uint64 { return rt.targetGen.Load() }
+
+// replicaFor maps a vertex to its home replica index under the configured
+// policy; callers pass the per-request random pick for PolicyRandom.
+func (rt *Router) replicaFor(v, randomPick int) int {
+	if rt.cfg.Policy == PolicyRandom {
+		return randomPick
+	}
+	return rt.cfg.PartOf(v) % len(rt.replicas)
+}
+
+// nextRandom draws a replica index from the seeded splitmix64 stream —
+// cheap, lock-free, and well spread regardless of request arrival order.
+func (rt *Router) nextRandom() int {
+	x := rt.rrState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(rt.replicas)))
+}
+
+// fallback returns the first healthy replica at or after idx in ring
+// order, or -1 when the whole fleet is down.
+func (rt *Router) fallback(idx int) int {
+	n := len(rt.replicas)
+	for off := 0; off < n; off++ {
+		i := (idx + off) % n
+		if rt.replicas[i].healthy.Load() {
+			return i
+		}
+	}
+	return -1
+}
+
+// subResult is one replica sub-request outcome.
+type subResult struct {
+	status     int
+	retryAfter string
+	body       serve.PredictResponse
+	errBody    []byte // raw error document for non-200 propagation
+	err        error  // transport-level failure (unreachable replica)
+}
+
+// doPredict posts one sub-request to a replica and decodes the outcome.
+func (rt *Router) doPredict(ctx context.Context, r *replica, vertices []int) subResult {
+	r.subRequests.Add(1)
+	body, err := json.Marshal(serve.PredictRequest{Vertices: vertices})
+	if err != nil {
+		return subResult{err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/predict", bytes.NewReader(body))
+	if err != nil {
+		return subResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return subResult{err: err}
+	}
+	defer resp.Body.Close()
+	res := subResult{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&res.body); err != nil {
+			return subResult{err: fmt.Errorf("decoding %s response: %w", r.name, err)}
+		}
+		r.gen.Store(res.body.Generation)
+		return res
+	}
+	res.errBody, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	return res
+}
+
+// unreachable reports whether a sub-result means "this replica cannot
+// serve right now" (transport failure, 5xx other than a shed, or a 503
+// without Retry-After — serve sets the header only when shedding, so a
+// bare 503 is a closing or deadline-blown replica), as opposed to a
+// client-error or shed outcome that must propagate.
+func (res subResult) unreachable() bool {
+	if res.err != nil {
+		return true
+	}
+	if res.status == http.StatusServiceUnavailable && res.retryAfter == "" {
+		return true
+	}
+	return res.status >= 500 && res.status != http.StatusServiceUnavailable
+}
+
+// handlePredict routes one client request across the fleet.
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	if rt.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("router: closed"))
+		return
+	}
+	var req serve.PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		rt.failed.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// Fleet-wide admission: shed whole requests before touching replicas.
+	n := rt.inFlight.Add(1)
+	defer rt.inFlight.Add(-1)
+	if max := rt.cfg.MaxInFlight; max > 0 && n > int64(max) {
+		rt.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("router: fleet overloaded: %d requests in flight (limit %d)", n-1, max))
+		return
+	}
+	start := time.Now()
+	status, retryAfter, resp, errBody := rt.route(r.Context(), req.Vertices)
+	switch {
+	case status == http.StatusOK:
+		rt.requests.Add(1)
+		rt.lat.Observe(time.Since(start))
+		writeJSON(w, http.StatusOK, resp)
+	case status == http.StatusServiceUnavailable:
+		// A replica shed the sub-request: propagate the backpressure with
+		// the largest Retry-After any replica asked for.
+		rt.shed.Add(1)
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		writeRaw(w, status, errBody)
+	default:
+		rt.failed.Add(1)
+		writeRaw(w, status, errBody)
+	}
+}
+
+// route fans a request out and merges the responses, retrying whole on
+// generation conflict. Returns the HTTP status, a Retry-After value for
+// 503s, the merged response for 200s, and the error document otherwise.
+func (rt *Router) route(ctx context.Context, vertices []int) (int, string, serve.PredictResponse, []byte) {
+	// Requests the router cannot map (empty, out-of-range vertices) and
+	// whole-request policies go to a single replica, which owns validation
+	// and answers with exact single-server semantics.
+	single := -1
+	if rt.cfg.Policy == PolicyRandom {
+		single = rt.nextRandom()
+	} else if len(vertices) == 0 {
+		single = 0
+	} else {
+		for _, v := range vertices {
+			if v < 0 || v >= rt.vertices {
+				single = 0 // un-mappable vertex: any replica rejects it properly
+				break
+			}
+		}
+	}
+	if single >= 0 {
+		return rt.routeWhole(ctx, single)(vertices)
+	}
+
+	// Partition policy: group vertices by home replica, remembering input
+	// positions for the merge.
+	nrep := len(rt.replicas)
+	groups := make([][]int, nrep) // vertices per replica
+	posIdx := make([][]int, nrep) // their positions in the request
+	for i, v := range vertices {
+		target := rt.replicaFor(v, 0)
+		if !rt.replicas[target].healthy.Load() {
+			target = rt.fallback(target)
+			if target < 0 {
+				return http.StatusServiceUnavailable, "", serve.PredictResponse{},
+					errDoc("router: no healthy replicas")
+			}
+			rt.reroutes.Add(1)
+		}
+		groups[target] = append(groups[target], v)
+		posIdx[target] = append(posIdx[target], i)
+	}
+	targets := make([]int, 0, nrep)
+	for i := range groups {
+		if len(groups[i]) > 0 {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) > 1 {
+		rt.splits.Add(1)
+	}
+
+	// Fan out concurrently; each unreachable target gets one reroute to the
+	// next healthy replica before the request fails.
+	results := make([]subResult, len(targets))
+	var wg sync.WaitGroup
+	for ti, target := range targets {
+		wg.Add(1)
+		go func(ti, target int) {
+			defer wg.Done()
+			res := rt.doPredict(ctx, rt.replicas[target], groups[target])
+			if res.unreachable() {
+				if fb := rt.fallback((target + 1) % nrep); fb >= 0 && fb != target {
+					rt.reroutes.Add(1)
+					res = rt.doPredict(ctx, rt.replicas[fb], groups[target])
+				}
+			}
+			results[ti] = res
+		}(ti, target)
+	}
+	wg.Wait()
+
+	// Propagate failures: shed beats client error beats replica loss only
+	// in the sense that any non-200 fails the whole request — a partial
+	// prediction is not a prediction.
+	for _, res := range results {
+		if res.err != nil {
+			return http.StatusBadGateway, "", serve.PredictResponse{},
+				errDoc(fmt.Sprintf("router: replica unreachable: %v", res.err))
+		}
+		if res.status != http.StatusOK {
+			return res.status, maxRetryAfter(results), serve.PredictResponse{}, res.errBody
+		}
+	}
+
+	// Generation consistency: a rolling swap may have answered different
+	// groups with different models. Never merge them — retry the whole
+	// request on one replica, whose response is internally consistent.
+	if len(targets) > 1 {
+		gen := results[0].body.Generation
+		for _, res := range results[1:] {
+			if res.body.Generation != gen {
+				rt.genRetries.Add(1)
+				return rt.routeWhole(ctx, rt.dominant(groups))(vertices)
+			}
+		}
+	}
+
+	// Merge rows back into input order.
+	merged := serve.PredictResponse{
+		Generation: results[0].body.Generation,
+		Classes:    make([]int, len(vertices)),
+		Probs:      make([][]float64, len(vertices)),
+	}
+	for ti := range targets {
+		idx := posIdx[targets[ti]]
+		for j, pos := range idx {
+			merged.Classes[pos] = results[ti].body.Classes[j]
+			merged.Probs[pos] = results[ti].body.Probs[j]
+		}
+	}
+	return http.StatusOK, "", merged, nil
+}
+
+// routeWhole returns a sender that gives the entire request to one replica
+// (falling back along the ring if it is unhealthy or unreachable).
+func (rt *Router) routeWhole(ctx context.Context, preferred int) func([]int) (int, string, serve.PredictResponse, []byte) {
+	return func(vertices []int) (int, string, serve.PredictResponse, []byte) {
+		target := preferred
+		if !rt.replicas[target].healthy.Load() {
+			target = rt.fallback(target)
+			if target < 0 {
+				return http.StatusServiceUnavailable, "", serve.PredictResponse{}, errDoc("router: no healthy replicas")
+			}
+			rt.reroutes.Add(1)
+		}
+		res := rt.doPredict(ctx, rt.replicas[target], vertices)
+		if res.unreachable() {
+			if fb := rt.fallback((target + 1) % len(rt.replicas)); fb >= 0 && fb != target {
+				rt.reroutes.Add(1)
+				res = rt.doPredict(ctx, rt.replicas[fb], vertices)
+			}
+		}
+		if res.err != nil {
+			return http.StatusBadGateway, "", serve.PredictResponse{},
+				errDoc(fmt.Sprintf("router: replica unreachable: %v", res.err))
+		}
+		if res.status != http.StatusOK {
+			return res.status, res.retryAfter, serve.PredictResponse{}, res.errBody
+		}
+		return http.StatusOK, "", res.body, nil
+	}
+}
+
+// dominant returns the healthy replica holding the most vertices of the
+// grouped request — the natural single home for a consistency retry, since
+// most of the request's receptive field is already cached there.
+func (rt *Router) dominant(groups [][]int) int {
+	best, bestN := 0, -1
+	for i, g := range groups {
+		if len(g) > bestN && rt.replicas[i].healthy.Load() {
+			best, bestN = i, len(g)
+		}
+	}
+	return best
+}
+
+// maxRetryAfter returns the largest Retry-After any sub-response carried.
+func maxRetryAfter(results []subResult) string {
+	max := 0
+	for _, res := range results {
+		if res.retryAfter == "" {
+			continue
+		}
+		if v, err := strconv.Atoi(res.retryAfter); err == nil && v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	return strconv.Itoa(max)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeRaw forwards a replica's error document verbatim.
+func writeRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if len(body) == 0 {
+		body = errDoc(http.StatusText(code))
+	}
+	_, _ = w.Write(body)
+}
+
+// errDoc builds the JSON error document shape serve uses.
+func errDoc(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return b
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestConfigWithDefaults pins the three-way field contract: zero selects
+// the default, the exact disable sentinel stays legal, and every other
+// out-of-range value is rejected with the typed ErrConfig instead of being
+// silently reinterpreted.
+func TestConfigWithDefaults(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+		check   func(t *testing.T, c Config)
+	}{
+		{name: "zero value selects defaults", cfg: Config{}, check: func(t *testing.T, c Config) {
+			if c.BatchWindow != 2*time.Millisecond || c.MaxBatch != 256 || c.CacheSize != 4096 ||
+				c.MaxRequestVertices != 1024 || c.MaxInFlight != 1024 || c.RequestTimeout != 5*time.Second {
+				t.Fatalf("defaults = %+v", c)
+			}
+		}},
+		{name: "WindowNone disables the wait", cfg: Config{BatchWindow: WindowNone}, check: func(t *testing.T, c Config) {
+			if c.BatchWindow != 0 {
+				t.Fatalf("BatchWindow = %v, want 0", c.BatchWindow)
+			}
+		}},
+		{name: "CacheNone disables caching", cfg: Config{CacheSize: CacheNone}, check: func(t *testing.T, c Config) {
+			if c.CacheSize != CacheNone {
+				t.Fatalf("CacheSize = %d", c.CacheSize)
+			}
+		}},
+		{name: "InFlightUnlimited disables shedding", cfg: Config{MaxInFlight: InFlightUnlimited}, check: func(t *testing.T, c Config) {
+			if c.MaxInFlight != InFlightUnlimited {
+				t.Fatalf("MaxInFlight = %d", c.MaxInFlight)
+			}
+		}},
+		{name: "TimeoutNone disables the deadline", cfg: Config{RequestTimeout: TimeoutNone}, check: func(t *testing.T, c Config) {
+			if c.RequestTimeout != TimeoutNone {
+				t.Fatalf("RequestTimeout = %v", c.RequestTimeout)
+			}
+		}},
+		{name: "explicit values pass through", cfg: Config{BatchWindow: time.Millisecond, MaxBatch: 7, CacheSize: 9,
+			MaxRequestVertices: 3, MaxInFlight: 5, RequestTimeout: time.Second}, check: func(t *testing.T, c Config) {
+			if c.BatchWindow != time.Millisecond || c.MaxBatch != 7 || c.CacheSize != 9 ||
+				c.MaxRequestVertices != 3 || c.MaxInFlight != 5 || c.RequestTimeout != time.Second {
+				t.Fatalf("explicit = %+v", c)
+			}
+		}},
+		{name: "negative window rejected", cfg: Config{BatchWindow: -3 * time.Millisecond}, wantErr: true},
+		{name: "negative MaxBatch rejected", cfg: Config{MaxBatch: -1}, wantErr: true},
+		{name: "negative cache beyond sentinel rejected", cfg: Config{CacheSize: -2}, wantErr: true},
+		{name: "negative MaxRequestVertices rejected", cfg: Config{MaxRequestVertices: -1}, wantErr: true},
+		{name: "negative MaxInFlight beyond sentinel rejected", cfg: Config{MaxInFlight: -7}, wantErr: true},
+		{name: "negative timeout beyond sentinel rejected", cfg: Config{RequestTimeout: -2 * time.Second}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.cfg.withDefaults()
+			if tc.wantErr {
+				if !errors.Is(err, ErrConfig) {
+					t.Fatalf("err = %v, want ErrConfig", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, got)
+		})
+	}
+}
+
+// TestNewRejectsBadConfig pins that the constructor surfaces ErrConfig —
+// a misconfigured fleet replica must fail at boot, not at first request.
+func TestNewRejectsBadConfig(t *testing.T) {
+	ds, model, _ := testProblem(t)
+	if _, err := New(ds, model, Config{MaxInFlight: -2}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("New err = %v, want ErrConfig", err)
+	}
+}

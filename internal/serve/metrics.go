@@ -12,6 +12,57 @@ import (
 // keeping the /metrics sort cheap.
 const latencyWindow = 4096
 
+// LatencyRing is a fixed-capacity sliding window of request latencies with
+// quantile estimation — the p50/p99 source behind /metrics, factored out so
+// the fleet router reports its end-to-end quantiles with the same machinery
+// (and the same SLO-gate semantics) as a single replica. Observing is
+// allocation-free after the ring fills; safe for concurrent use.
+type LatencyRing struct {
+	mu      sync.Mutex
+	cap     int
+	samples []float64 // milliseconds
+	next    int
+}
+
+// NewLatencyRing returns a ring keeping the last capacity samples
+// (capacity < 1 selects the default window of 4096).
+func NewLatencyRing(capacity int) *LatencyRing {
+	if capacity < 1 {
+		capacity = latencyWindow
+	}
+	return &LatencyRing{cap: capacity, samples: make([]float64, 0, capacity)}
+}
+
+// Observe records one latency into the sliding window.
+func (r *LatencyRing) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, ms)
+	} else {
+		r.samples[r.next] = ms
+	}
+	r.next = (r.next + 1) % r.cap
+	r.mu.Unlock()
+}
+
+// Quantiles returns the p50 and p99 of the current window in milliseconds,
+// plus the number of samples they summarize (0, 0, 0 when empty).
+func (r *LatencyRing) Quantiles() (p50, p99 float64, count int) {
+	r.mu.Lock()
+	sorted := append([]float64(nil), r.samples...)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.99), len(sorted)
+}
+
 // Metrics aggregates the serving counters the ops endpoints report:
 // request/vertex throughput, latency quantiles over a sliding window,
 // micro-batch occupancy, gather volume, and cache effectiveness. All
@@ -37,44 +88,19 @@ type Metrics struct {
 	shed   atomic.Uint64 // requests refused by admission control (503)
 	panics atomic.Uint64 // inference panics isolated to their batch
 
-	mu      sync.Mutex
-	samples []float64 // latency ring, milliseconds
-	next    int
+	lat *LatencyRing
 }
 
 // NewMetrics returns a zeroed metrics set anchored at now.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), samples: make([]float64, 0, latencyWindow)}
+	return &Metrics{start: time.Now(), lat: NewLatencyRing(latencyWindow)}
 }
 
 // observeLatency records one request latency into the sliding window.
-func (m *Metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
-	if len(m.samples) < latencyWindow {
-		m.samples = append(m.samples, ms)
-	} else {
-		m.samples[m.next] = ms
-	}
-	m.next = (m.next + 1) % latencyWindow
-	m.mu.Unlock()
-}
+func (m *Metrics) observeLatency(d time.Duration) { m.lat.Observe(d) }
 
 // quantiles returns the p50 and p99 of the current latency window.
-func (m *Metrics) quantiles() (p50, p99 float64, count int) {
-	m.mu.Lock()
-	sorted := append([]float64(nil), m.samples...)
-	m.mu.Unlock()
-	if len(sorted) == 0 {
-		return 0, 0, 0
-	}
-	sort.Float64s(sorted)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return at(0.50), at(0.99), len(sorted)
-}
+func (m *Metrics) quantiles() (p50, p99 float64, count int) { return m.lat.Quantiles() }
 
 // LatencySnapshot is the quantile block of a metrics snapshot.
 type LatencySnapshot struct {

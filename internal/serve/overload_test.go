@@ -207,15 +207,15 @@ func TestBatcherGoroutineShutdown(t *testing.T) {
 
 // tryPredictHeader is tryPredict, additionally capturing the Retry-After
 // header the overload tests assert on.
-func tryPredictHeader(url string, vertices []int, retryAfter *string) (int, predictResponse, error) {
-	body, _ := json.Marshal(predictRequest{Vertices: vertices})
+func tryPredictHeader(url string, vertices []int, retryAfter *string) (int, PredictResponse, error) {
+	body, _ := json.Marshal(PredictRequest{Vertices: vertices})
 	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, predictResponse{}, err
+		return 0, PredictResponse{}, err
 	}
 	defer resp.Body.Close()
 	*retryAfter = resp.Header.Get("Retry-After")
-	var pr predictResponse
+	var pr PredictResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			return resp.StatusCode, pr, err

@@ -27,58 +27,103 @@ import (
 	"sagnn"
 )
 
-// Config tunes the serving path. The zero value selects the defaults.
+// Config tunes the serving path. The zero value selects the defaults; the
+// exact sentinel values WindowNone / CacheNone / InFlightUnlimited /
+// TimeoutNone disable the corresponding mechanism; any other out-of-range
+// value is rejected by New with a typed ErrConfig.
 type Config struct {
 	// BatchWindow is how long the first request of a batch waits for company
 	// before inference runs. Zero (the unset value) selects the 2ms default,
-	// matching the zero-value convention of the other configs; a negative
-	// window disables the wait — batches only coalesce requests already
-	// queued, effectively sequential under a single client.
+	// matching the zero-value convention of the other configs; WindowNone
+	// disables the wait — batches only coalesce requests already queued,
+	// effectively sequential under a single client.
 	BatchWindow time.Duration
 	// MaxBatch closes a batch early once this many distinct vertices are
-	// pending (default 256).
+	// pending (default 256; must be ≥ 1).
 	MaxBatch int
 	// CacheSize is the per-vertex probability LRU capacity (default 4096);
-	// negative disables caching.
+	// CacheNone disables caching.
 	CacheSize int
 	// MaxRequestVertices rejects single requests larger than this
-	// (default 1024).
+	// (default 1024; must be ≥ 1).
 	MaxRequestVertices int
 	// MaxInFlight is the admission-control limit: requests beyond this many
 	// concurrently-served predictions are shed immediately with ErrOverloaded
 	// (HTTP 503) instead of queueing without bound behind the batcher.
-	// Default 1024; negative disables shedding.
+	// Default 1024; InFlightUnlimited disables shedding.
 	MaxInFlight int
 	// RequestTimeout bounds how long one prediction may wait on batched
 	// inference (pure cache hits never wait and are exempt). Expired
 	// requests fail with context.DeadlineExceeded (HTTP 503). Default 5s;
-	// negative disables the deadline.
+	// TimeoutNone disables the deadline.
 	RequestTimeout time.Duration
 }
 
-func (c Config) withDefaults() Config {
-	if c.BatchWindow == 0 {
+// The explicit "disable" sentinels. Each zero-valued Config field selects
+// its default, and each of these exact values disables the corresponding
+// mechanism; any other out-of-range value is a misconfiguration that
+// withDefaults rejects with ErrConfig instead of silently reinterpreting.
+const (
+	// WindowNone disables the micro-batch wait: batches only coalesce
+	// requests already queued, effectively sequential under a single client.
+	WindowNone time.Duration = -1
+	// CacheNone disables the per-vertex probability cache.
+	CacheNone = -1
+	// InFlightUnlimited disables admission control (never shed).
+	InFlightUnlimited = -1
+	// TimeoutNone disables the per-request deadline.
+	TimeoutNone time.Duration = -1
+)
+
+// ErrConfig tags a rejected Config: a field outside its meaningful range
+// that is not one of the documented disable sentinels. errors.Is-able.
+var ErrConfig = errors.New("serve: invalid config")
+
+// withDefaults validates the config and fills in defaults: zero fields
+// select the documented defaults, the exact sentinel values above select
+// "disabled", and anything else out of range is rejected with a typed
+// ErrConfig — a -3ms window or a -7 admission limit is a typo, not a
+// request to disable.
+func (c Config) withDefaults() (Config, error) {
+	switch {
+	case c.BatchWindow == 0:
 		c.BatchWindow = 2 * time.Millisecond
-	}
-	if c.BatchWindow < 0 {
+	case c.BatchWindow == WindowNone:
 		c.BatchWindow = 0
+	case c.BatchWindow < 0:
+		return c, fmt.Errorf("%w: BatchWindow %v is negative (use WindowNone to disable the wait)", ErrConfig, c.BatchWindow)
 	}
-	if c.MaxBatch == 0 {
+	switch {
+	case c.MaxBatch == 0:
 		c.MaxBatch = 256
+	case c.MaxBatch < 1:
+		return c, fmt.Errorf("%w: MaxBatch %d < 1", ErrConfig, c.MaxBatch)
 	}
-	if c.CacheSize == 0 {
+	switch {
+	case c.CacheSize == 0:
 		c.CacheSize = 4096
+	case c.CacheSize < 0 && c.CacheSize != CacheNone:
+		return c, fmt.Errorf("%w: CacheSize %d is negative (use CacheNone to disable caching)", ErrConfig, c.CacheSize)
 	}
-	if c.MaxRequestVertices == 0 {
+	switch {
+	case c.MaxRequestVertices == 0:
 		c.MaxRequestVertices = 1024
+	case c.MaxRequestVertices < 1:
+		return c, fmt.Errorf("%w: MaxRequestVertices %d < 1", ErrConfig, c.MaxRequestVertices)
 	}
-	if c.MaxInFlight == 0 {
+	switch {
+	case c.MaxInFlight == 0:
 		c.MaxInFlight = 1024
+	case c.MaxInFlight < 0 && c.MaxInFlight != InFlightUnlimited:
+		return c, fmt.Errorf("%w: MaxInFlight %d is negative (use InFlightUnlimited to disable shedding)", ErrConfig, c.MaxInFlight)
 	}
-	if c.RequestTimeout == 0 {
+	switch {
+	case c.RequestTimeout == 0:
 		c.RequestTimeout = 5 * time.Second
+	case c.RequestTimeout < 0 && c.RequestTimeout != TimeoutNone:
+		return c, fmt.Errorf("%w: RequestTimeout %v is negative (use TimeoutNone to disable the deadline)", ErrConfig, c.RequestTimeout)
 	}
-	return c
+	return c, nil
 }
 
 // ErrOverloaded sheds a request when MaxInFlight predictions are already
@@ -119,7 +164,11 @@ func New(ds *sagnn.Dataset, model *sagnn.Model, cfg Config) (*Server, error) {
 	if err := model.CompatibleWith(ds); err != nil {
 		return nil, err
 	}
-	s := &Server{ds: ds, classes: model.Classes(), cfg: cfg.withDefaults(), metrics: NewMetrics()}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ds: ds, classes: model.Classes(), cfg: cfg, metrics: NewMetrics()}
 	s.state.Store(&modelState{
 		model:      model,
 		cache:      NewCache(s.cfg.CacheSize),
@@ -333,14 +382,17 @@ func (s *Server) Metrics() Snapshot {
 		s.ds.G.NumVertices(), s.inFlight.Load(), s.cfg.MaxInFlight)
 }
 
-// predictRequest is the /predict body.
-type predictRequest struct {
+// PredictRequest is the POST /predict body. Exported so fleet routers can
+// build and split replica sub-requests with the same typed document the
+// server decodes.
+type PredictRequest struct {
 	Vertices []int `json:"vertices"`
 }
 
-// predictResponse is the /predict reply: one class and probability row per
-// requested vertex, in request order, plus the serving generation.
-type predictResponse struct {
+// PredictResponse is the /predict reply: one class and probability row per
+// requested vertex, in request order, plus the serving generation that
+// computed every row (responses are generation-consistent).
+type PredictResponse struct {
 	Generation uint64      `json:"generation"`
 	Classes    []int       `json:"classes"`
 	Probs      [][]float64 `json:"probs"`
@@ -351,7 +403,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
 	}
-	var req predictRequest
+	var req PredictRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		s.metrics.failed.Add(1)
@@ -368,23 +420,46 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, predictResponse{Generation: gen, Classes: classes, Probs: probs})
+	writeJSON(w, http.StatusOK, PredictResponse{Generation: gen, Classes: classes, Probs: probs})
+}
+
+// Health is the GET /healthz document: liveness plus the identity of the
+// serving state. Exported so fleet routers probe replicas with a typed
+// decode — generation verification during rolling swaps reads the
+// Generation field — instead of scraping ad-hoc maps.
+type Health struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Dataset    string `json:"dataset"`
+	Vertices   int    `json:"vertices"`
+	Classes    int    `json:"classes"`
+}
+
+// Health reports the server's liveness and current serving generation; ok
+// is false once Close has begun (the HTTP layer then answers 503).
+func (s *Server) Health() (h Health, ok bool) {
+	st := s.state.Load()
+	h = Health{
+		Status:     "ok",
+		Generation: st.generation,
+		Dataset:    s.ds.Name,
+		Vertices:   s.ds.G.NumVertices(),
+		Classes:    s.classes,
+	}
+	if s.closed.Load() {
+		h.Status = "shutting down"
+		return h, false
+	}
+	return h, true
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
-	status := "ok"
+	h, ok := s.Health()
 	code := http.StatusOK
-	if s.closed.Load() {
-		status, code = "shutting down", http.StatusServiceUnavailable
+	if !ok {
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":     status,
-		"generation": st.generation,
-		"dataset":    s.ds.Name,
-		"vertices":   s.ds.G.NumVertices(),
-		"classes":    s.classes,
-	})
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -51,14 +51,14 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server, *sagnn.
 }
 
 // tryPredict POSTs a /predict request; safe to call from any goroutine.
-func tryPredict(url string, vertices []int) (int, predictResponse, error) {
-	body, _ := json.Marshal(predictRequest{Vertices: vertices})
+func tryPredict(url string, vertices []int) (int, PredictResponse, error) {
+	body, _ := json.Marshal(PredictRequest{Vertices: vertices})
 	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, predictResponse{}, err
+		return 0, PredictResponse{}, err
 	}
 	defer resp.Body.Close()
-	var pr predictResponse
+	var pr PredictResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			return resp.StatusCode, pr, err
@@ -67,15 +67,15 @@ func tryPredict(url string, vertices []int) (int, predictResponse, error) {
 	return resp.StatusCode, pr, nil
 }
 
-func postPredict(t testing.TB, url string, vertices []int) (*http.Response, predictResponse) {
+func postPredict(t testing.TB, url string, vertices []int) (*http.Response, PredictResponse) {
 	t.Helper()
-	body, _ := json.Marshal(predictRequest{Vertices: vertices})
+	body, _ := json.Marshal(PredictRequest{Vertices: vertices})
 	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var pr predictResponse
+	var pr PredictResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			t.Fatal(err)
